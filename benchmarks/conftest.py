@@ -1,0 +1,58 @@
+"""Shared helpers for the figure/table reproduction benches.
+
+Every bench regenerates one report artifact: it computes the figure's
+data (timed once via ``benchmark.pedantic``), prints the same rows/series
+the report shows (visible with ``pytest -s``), and asserts the *shape* —
+who wins, by roughly what factor, where crossovers fall.
+"""
+
+import json
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+#: set REPRO_RESULTS_DIR to also dump every printed table as JSON
+_RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "")
+
+
+def print_table(title: str, header: list[str], rows: list[list], widths=None) -> None:
+    print(f"\n== {title}")
+    if widths is None:
+        widths = [max(len(str(h)), 12) for h in header]
+    line = "".join(str(h).rjust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
+    if _RESULTS_DIR:
+        out = Path(_RESULTS_DIR)
+        out.mkdir(parents=True, exist_ok=True)
+        slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:80]
+        payload = {
+            "title": title,
+            "header": header,
+            "rows": [[_fmt(v) for v in row] for row in rows],
+        }
+        (out / f"{slug}.json").write_text(json.dumps(payload, indent=1))
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    return str(v)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,48 @@
+"""Ablation — flash burst buffer for checkpoints (PDSI follow-on #6).
+
+How much of Fig 5's utilization collapse does a flash staging tier buy
+back?  The buffer shrinks the app-visible dump time by bb/pfs bandwidth
+ratio, but the checkpoint interval can't drop below the drain time.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.burstbuffer import BurstBufferConfig, best_utilization
+from repro.failure import MachineTrend
+
+
+def run_abl2():
+    trend = MachineTrend(chip_doubling_months=24.0)
+    cfg = BurstBufferConfig(bb_write_Bps=10e9, drain_Bps=1e9, pfs_direct_Bps=1e9)
+    ckpt_bytes = 900e9  # so the direct dump costs Fig 5's 900 s
+    rows = []
+    for year in range(2008, 2019, 2):
+        mtti = trend.mtti_s(float(year))
+        direct = best_utilization(mtti, ckpt_bytes, cfg, via_bb=False)
+        bb = best_utilization(mtti, ckpt_bytes, cfg, via_bb=True)
+        rows.append(
+            (year, mtti / 60.0, direct["utilization"], bb["utilization"],
+             bb["drain_bound_active"])
+        )
+    return rows
+
+
+def test_abl02_burst_buffer(run_once):
+    rows = run_once(run_abl2)
+    print_table(
+        "Utilization with/without a 10x burst buffer (balanced PFS)",
+        ["year", "MTTI min", "direct", "burst buffer", "drain-bound"],
+        [[y, f"{m:.0f}", f"{d:.1%}", f"{b:.1%}", str(a)] for y, m, d, b, a in rows],
+        widths=[7, 10, 9, 13, 12],
+    )
+    # the buffer always helps, and the help grows as MTTI shrinks ...
+    gains = [b - d for _, _, d, b, _ in rows]
+    assert all(g > 0 for g in gains[:-1])
+    assert gains[3] > gains[0]
+    # ... pushing the <50% crossing years later
+    direct_cross = next(y for y, _, d, _, _ in rows if d < 0.5)
+    bb_cross = next((y for y, _, _, b, _ in rows if b < 0.5), 9999)
+    assert bb_cross > direct_cross
+    # near exascale the drain bandwidth becomes the binding constraint
+    assert rows[-1][4]

@@ -1,0 +1,46 @@
+"""Ablation — PLFS read-back performance (Polte et al., PDSW'09:
+"...And eat it too: High read performance in write-optimized HPC I/O
+middleware file formats").
+
+The worry about log-structured checkpoints is the read-back; with the
+index coalescing per-log runs, PLFS reads stay competitive with a flat
+file while its *writes* are an order of magnitude faster.
+"""
+
+from benchmarks.conftest import print_table
+from repro.pfs import LUSTRE_LIKE
+from repro.plfs.simbridge import run_readback, speedup
+from repro.workloads import n1_strided
+
+
+def run_abl3():
+    params = LUSTRE_LIKE.with_servers(8)
+    pattern = n1_strided(16, 47 * 1024, 12)
+    direct_w, plfs_w, w_ratio = speedup(params, pattern)
+    direct_r = run_readback(params, pattern, via_plfs=False)
+    plfs_r = run_readback(params, pattern, via_plfs=True)
+    return direct_w, plfs_w, w_ratio, direct_r, plfs_r
+
+
+def test_abl03_plfs_readback(run_once):
+    direct_w, plfs_w, w_ratio, direct_r, plfs_r = run_once(run_abl3)
+    print_table(
+        "Write and read-back bandwidth, N-1 strided checkpoint",
+        ["phase", "direct MB/s", "PLFS MB/s", "ratio"],
+        [
+            ["write", f"{direct_w.bandwidth_MBps:.1f}", f"{plfs_w.bandwidth_MBps:.1f}",
+             f"{w_ratio:.1f}x"],
+            ["read-back", f"{direct_r.bandwidth_MBps:.1f}", f"{plfs_r.bandwidth_MBps:.1f}",
+             f"{plfs_r.bandwidth_Bps / direct_r.bandwidth_Bps:.2f}x"],
+        ],
+        widths=[11, 13, 12, 8],
+    )
+    # writes: the order-of-magnitude PLFS win
+    assert w_ratio > 10.0
+    # reads: within a small factor of the flat file (the PDSW'09 point)
+    r_ratio = plfs_r.bandwidth_Bps / direct_r.bandwidth_Bps
+    assert r_ratio > 0.4
+    # net: PLFS wins the checkpoint+restart cycle overall
+    cycle_direct = direct_w.makespan_s + direct_r.makespan_s
+    cycle_plfs = plfs_w.makespan_s + plfs_r.makespan_s
+    assert cycle_plfs < cycle_direct

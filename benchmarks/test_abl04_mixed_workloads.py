@@ -1,0 +1,80 @@
+"""Ablation — mixing HPC and data-intensive workloads on one parallel FS
+(Molina-Estolano et al., PDSW'09: "Mixing Hadoop and HPC Workloads on
+Parallel Filesystems", PDSI work).
+
+A checkpointing application and a scan-heavy analytics job co-run on the
+same storage servers: both slow down, and the slowdown is asymmetric —
+the checkpoint (small strided writes) suffers more from losing disk
+locality than the streaming scan does.
+"""
+
+from benchmarks.conftest import print_table
+from repro.pfs import PFSParams, SimPFS
+from repro.sim import Simulator
+from repro.workloads import n1_strided
+
+
+def _run(run_ckpt: bool, run_scan: bool, n_servers: int = 4):
+    sim = Simulator()
+    pfs = SimPFS(sim, PFSParams(n_servers=n_servers))
+    done = {}
+    pattern = n1_strided(8, 47 * 1024, 6)
+
+    def setup():
+        yield from pfs.op_create(0, "/shared")
+        yield from pfs.op_create(0, "/dataset")
+        yield from pfs.op_write(0, "/dataset", 0, 64 << 20)
+
+    sim.spawn(setup())
+    sim.run()
+    start = sim.now
+
+    def ckpt_rank(r, writes):
+        for off, n in writes:
+            yield from pfs.op_write(r, "/shared", off, n)
+        done.setdefault("ckpt", sim.now - start)
+        done["ckpt"] = max(done["ckpt"], sim.now - start)
+
+    def scanner(c):
+        chunk = 4 << 20
+        for i in range(8):
+            yield from pfs.op_read(100 + c, "/dataset", ((c * 8 + i) % 16) * chunk, chunk)
+        done.setdefault("scan", sim.now - start)
+        done["scan"] = max(done["scan"], sim.now - start)
+
+    if run_ckpt:
+        for r, writes in enumerate(pattern):
+            sim.spawn(ckpt_rank(r, writes))
+    if run_scan:
+        for c in range(8):
+            sim.spawn(scanner(c))
+    sim.run()
+    return done
+
+
+def run_abl4():
+    alone_ckpt = _run(True, False)["ckpt"]
+    alone_scan = _run(False, True)["scan"]
+    mixed = _run(True, True)
+    return alone_ckpt, alone_scan, mixed
+
+
+def test_abl04_mixed_workloads(run_once):
+    alone_ckpt, alone_scan, mixed = run_once(run_abl4)
+    rows = [
+        ["checkpoint (N-1 strided)", alone_ckpt, mixed["ckpt"], f"{mixed['ckpt'] / alone_ckpt:.2f}x"],
+        ["analytics scan", alone_scan, mixed["scan"], f"{mixed['scan'] / alone_scan:.2f}x"],
+    ]
+    print_table(
+        "Co-running HPC checkpoint + analytics scan on one PFS",
+        ["workload", "alone s", "mixed s", "slowdown"],
+        rows,
+        widths=[26, 10, 10, 10],
+    )
+    # both suffer from sharing ...
+    assert mixed["ckpt"] > alone_ckpt
+    assert mixed["scan"] > alone_scan
+    # ... and the interference is substantial for at least one of them
+    # (the PDSW'09 observation that motivated QoS/insulation work)
+    worst = max(mixed["ckpt"] / alone_ckpt, mixed["scan"] / alone_scan)
+    assert worst > 1.3

@@ -1,0 +1,42 @@
+"""Fig 2 — S3D c2h4 checkpoint time under weak scaling + 12-hour projection.
+
+Report: (a) measured checkpoint I/O time grows with rank count under weak
+scaling; (b) the linear model projects checkpointing to consume a growing
+share of a 12-hour production run.
+"""
+
+from benchmarks.conftest import print_table
+from repro.pfs import LUSTRE_LIKE
+from repro.workloads import S3DWeakScaling, predict_checkpoint_series
+from repro.workloads.s3d import measure_weak_scaling
+
+
+def run_fig2():
+    cfg = S3DWeakScaling(per_rank_bytes=1 << 20, rank_counts=(4, 8, 16, 32, 64))
+    measured = measure_weak_scaling(cfg, LUSTRE_LIKE.with_servers(8))
+    predicted = predict_checkpoint_series(measured, run_hours=12.0, checkpoint_interval_s=1800.0)
+    return measured, predicted
+
+
+def test_fig02_s3d_checkpoint(run_once):
+    measured, predicted = run_once(run_fig2)
+    rows = [
+        [m.n_ranks, m.checkpoint_time_s, m.bandwidth_MBps,
+         p["total_checkpoint_s"], f"{p['fraction_of_run']:.1%}"]
+        for m, p in zip(measured, predicted)
+    ]
+    print_table(
+        "Fig 2: S3D weak scaling — measured 1 checkpoint, predicted 12 h run",
+        ["ranks", "ckpt time s", "agg MB/s", "12h ckpt s", "share of run"],
+        rows,
+        widths=[8, 13, 11, 12, 14],
+    )
+    times = [m.checkpoint_time_s for m in measured]
+    # weak scaling through a fixed file system: time grows with ranks
+    assert all(b > a for a, b in zip(times, times[1:]))
+    # roughly linear growth (report's model): 16x ranks within ~3x of 16x time
+    assert 4.0 < times[-1] / times[0] < 48.0
+    # the checkpoint share of the 12-hour run grows monotonically
+    fracs = [p["fraction_of_run"] for p in predicted]
+    assert fracs == sorted(fracs)
+    assert fracs[-1] > fracs[0] * 4

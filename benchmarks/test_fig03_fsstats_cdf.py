@@ -1,0 +1,48 @@
+"""Fig 3 — CDF of file sizes across eleven non-archival file systems.
+
+Report (Dayal-08): medians in the KB-MB range, heavy multi-GB tails, and
+a wide spread between home-style and scratch-style systems.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.tracing import FS_PROFILES, size_cdf, survey_summary, synth_file_sizes
+
+
+def run_fig3():
+    rng = np.random.default_rng(9)
+    surveys = {}
+    cdfs = {}
+    for name, profile in FS_PROFILES.items():
+        sizes = synth_file_sizes(profile, 6000, rng)
+        surveys[name] = survey_summary(sizes)
+        cdfs[name] = size_cdf(sizes, points=np.logspace(2, 11, 40))
+    return surveys, cdfs
+
+
+def test_fig03_fsstats_cdf(run_once):
+    surveys, cdfs = run_once(run_fig3)
+    rows = [
+        [name, f"{s['median_bytes'] / 1e3:.0f}K", f"{s['p99_bytes'] / 1e6:.0f}M",
+         f"{s['frac_under_4k']:.0%}", f"{s['frac_capacity_in_top_1pct']:.0%}"]
+        for name, s in surveys.items()
+    ]
+    print_table(
+        "Fig 3: fsstats file-size survey (11 file systems)",
+        ["file system", "median", "p99", "<=4K files", "bytes in top 1%"],
+        rows,
+        widths=[20, 9, 9, 12, 17],
+    )
+    assert len(surveys) == 11
+    medians = [s["median_bytes"] for s in surveys.values()]
+    # medians live in the KB..tens-of-MB band and spread by >100x
+    assert min(medians) > 1e3 and max(medians) < 1e9
+    assert max(medians) / min(medians) > 100
+    # every file system's CDF is monotone and heavy-tailed
+    for name, (x, f) in cdfs.items():
+        assert (np.diff(f) >= 0).all()
+        s = surveys[name]
+        assert s["p99_bytes"] > 10 * s["median_bytes"], name
+    # capacity concentrates in big files on scratch systems
+    assert surveys["hpc-scratch1"]["frac_capacity_in_top_1pct"] > 0.15

@@ -1,0 +1,56 @@
+"""Fig 4 — interrupts linear in chip count; MTTI projection to exascale.
+
+Report: interrupts ≈ 0.1/chip/year regardless of processors-per-OS; with
+top500 growth (speed 2x/yr, chips 2x/18-30mo) MTTI 'may drop to as little
+as a few minutes as we approach the exascale era'.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.failure import MachineTrend, fit_interrupts_vs_chips, project_mtti
+from repro.failure.traces import synth_lanl_fleet
+
+
+def run_fig4():
+    rng = np.random.default_rng(42)
+    fleet = synth_lanl_fleet(rng, years=9.0)
+    fit = fit_interrupts_vs_chips(fleet)
+    years = np.arange(2008, 2021)
+    curves = {
+        m: project_mtti(MachineTrend(chip_doubling_months=m), years)
+        for m in (18.0, 24.0, 30.0)
+    }
+    return fleet, fit, years, curves
+
+
+def test_fig04_mtti_projection(run_once):
+    fleet, fit, years, curves = run_once(run_fig4)
+    rows = [[t.system, t.n_chips, round(t.interrupts_per_year, 1)] for t in fleet]
+    print_table(
+        "Fig 4 (left): interrupts/year vs chips",
+        ["system", "chips", "interrupts/yr"],
+        rows,
+        widths=[10, 10, 15],
+    )
+    rows2 = [
+        [int(y)] + [f"{curves[m][i] / 60:.1f} min" for m in (18.0, 24.0, 30.0)]
+        for i, y in enumerate(years)
+    ]
+    print_table(
+        "Fig 4 (right): projected MTTI (chip speed 2x per 18/24/30 months)",
+        ["year", "18mo", "24mo", "30mo"],
+        rows2,
+        widths=[8, 14, 14, 14],
+    )
+    # linear model recovered: slope ~0.1, tiny intercept relative to big systems
+    assert fit["slope_per_chip_year"] == __import__("pytest").approx(0.1, rel=0.2)
+    assert fit["r2"] > 0.95
+    # MTTI falls monotonically for every chip-growth assumption
+    for m, mtti in curves.items():
+        assert np.all(np.diff(mtti) < 0)
+    # 2008 baseline: hours; exascale era with slow chips: minutes
+    assert curves[24.0][0] > 3600.0
+    assert curves[30.0][-1] < 15 * 60.0
+    # slower per-chip growth -> more chips -> lower MTTI
+    assert curves[30.0][-1] < curves[24.0][-1] < curves[18.0][-1]

@@ -1,0 +1,41 @@
+"""Fig 6 — File System Virtual Appliances: forwarding overhead.
+
+Report (§4.2.1): moving the FS client into a VM costs a forwarding hop;
+'with shared memory tricks common in virtual machines, we hope that this
+need not slow down applications significantly'.
+"""
+
+from benchmarks.conftest import print_table
+from repro.fsva import relative_overhead, run_workload
+from repro.fsva.model import STREAM_LIKE, UNTAR_LIKE
+
+
+def run_fig6():
+    out = []
+    for mix in (UNTAR_LIKE, STREAM_LIKE):
+        for mode in ("native", "fsva-naive", "fsva-shared"):
+            out.append(
+                [mix.name, mode, run_workload(mix, mode), relative_overhead(mix, mode)]
+            )
+    return out
+
+
+def test_fig06_fsva(run_once):
+    rows = run_once(run_fig6)
+    print_table(
+        "Fig 6: FSVA runtime by transport",
+        ["workload", "mode", "seconds", "overhead"],
+        [[w, m, t, f"{o:.1%}"] for w, m, t, o in rows],
+        widths=[14, 14, 12, 10],
+    )
+    by = {(w, m): (t, o) for w, m, t, o in rows}
+    for mix in ("untar-like", "stream-like"):
+        native, _ = by[(mix, "native")]
+        naive_t, naive_o = by[(mix, "fsva-naive")]
+        shared_t, shared_o = by[(mix, "fsva-shared")]
+        assert native < shared_t < naive_t
+        # shared-memory transport keeps overhead modest (<15%)
+        assert shared_o < 0.15
+    # the naive path hurts metadata-heavy workloads the most
+    assert by[("untar-like", "fsva-naive")][1] > by[("stream-like", "fsva-naive")][1]
+    assert by[("untar-like", "fsva-naive")][1] > 0.4

@@ -1,0 +1,64 @@
+"""Fig 11 — flash vs magnetic disk, the report's five findings.
+
+1) flash bandwidth above disk, much more so for reads; 2) random reads
+phenomenally above disk's ~100 IOPS; 3) random writes below random
+reads, worse under 4 KB; 4) [software-stack variation — see Fig 13];
+5) sustained random writing collapses ~10x when the pre-erased pool
+depletes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.devices import Disk, FlashDevice, FlashParams
+from repro.workloads import iozone_bandwidth_sweep, iozone_random_iops
+
+
+def run_fig11():
+    flash = FlashDevice(FlashParams(user_blocks=512, overprovision=0.08))
+    disk = Disk()
+    f_seq = iozone_bandwidth_sweep(flash, total_bytes=32 << 20)
+    d_seq = iozone_bandwidth_sweep(disk, total_bytes=32 << 20)
+    f_iops = iozone_random_iops(FlashDevice(FlashParams(user_blocks=512)), n_ops=1500)
+    d_iops = iozone_random_iops(Disk(), n_ops=400)
+    # sub-4K write penalty
+    dev = FlashDevice(FlashParams(user_blocks=64))
+    dev.write(7)
+    t_sub = dev.write_subpage(7, 512)
+    t_full = dev.params.program_page_s
+    # sustained cliff
+    cliff_dev = FlashDevice(FlashParams(user_blocks=256, overprovision=0.07))
+    cliff = cliff_dev.sustained_random_write(
+        6 * cliff_dev.params.user_pages, np.random.default_rng(4)
+    )
+    return f_seq, d_seq, f_iops, d_iops, t_sub, t_full, cliff
+
+
+def test_fig11_flash_vs_disk(run_once):
+    f_seq, d_seq, f_iops, d_iops, t_sub, t_full, cliff = run_once(run_fig11)
+    print_table(
+        "Fig 11: flash vs disk",
+        ["metric", "flash", "disk"],
+        [
+            ["seq read MB/s", f_seq[0], d_seq[0]],
+            ["seq write MB/s", f_seq[1], d_seq[1]],
+            ["4K rand read kIOPS", f_iops[0], d_iops[0]],
+            ["4K rand write kIOPS", f_iops[1], d_iops[1]],
+        ],
+        widths=[22, 12, 12],
+    )
+    print(
+        f"\n  sub-4K write penalty: {t_sub / t_full:.2f}x a full-page program"
+        f"\n  sustained random write: fresh {cliff.fresh_iops:.0f} IOPS -> "
+        f"steady {cliff.steady_iops:.0f} IOPS ({cliff.degradation_factor:.1f}x slower, "
+        f"WA={cliff.write_amplification:.2f})"
+    )
+    # (1) bandwidths above disk, reads especially
+    assert f_seq[0] > d_seq[0] and f_seq[1] > d_seq[1]
+    # (2) random reads orders of magnitude above disk
+    assert f_iops[0] > 50 * d_iops[0]
+    # (3) random writes below random reads; sub-4K worse still
+    assert f_iops[1] < f_iops[0]
+    assert t_sub > t_full
+    # (5) sustained random write cliff approaching the reported ~10x
+    assert cliff.degradation_factor > 3.0

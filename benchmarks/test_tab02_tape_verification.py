@@ -1,0 +1,46 @@
+"""Tape verification statistics (§5.2.3) — the NERSC media campaign.
+
+Report: 23,820 cartridges read end-to-end over 2009-2010; 13 tapes had
+unreadable data (99.945% fully readable); 14 files / <100 GB lost; the
+worst tapes needed 3-5 read passes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.tape import NERSC_GENERATIONS, run_verification_campaign
+
+
+def run_tab2():
+    # several seeds: the campaign statistic, not one lucky draw
+    return [
+        run_verification_campaign(rng=np.random.default_rng(seed))
+        for seed in (1, 2, 3, 4, 5)
+    ]
+
+
+def test_tab02_tape_verification(run_once):
+    reports = run_once(run_tab2)
+    rows = [
+        [i + 1, r.tapes_read, r.tapes_with_loss, f"{r.full_readability:.3%}",
+         r.files_lost, f"{r.bytes_lost / 1e9:.1f} GB", r.max_read_passes]
+        for i, r in enumerate(reports)
+    ]
+    print_table(
+        "Tape verification campaign (5 seeds)",
+        ["run", "tapes", "with loss", "readable", "files lost", "bytes lost", "max passes"],
+        rows,
+        widths=[5, 9, 11, 11, 12, 12, 12],
+    )
+    total = sum(g.count for g in NERSC_GENERATIONS)
+    assert total == 23820
+    for r in reports:
+        assert r.tapes_read == total
+        # the report's headline: ~99.95% fully readable, handful of tapes
+        assert r.full_readability > 0.998
+        assert r.tapes_with_loss < 60
+        assert r.files_lost < 100
+        assert r.bytes_lost < 200e9
+        # worst tapes need multiple passes; appliance flags a superset
+        assert 3 <= r.max_read_passes <= 5
+        assert r.appliance_flagged >= r.tapes_with_loss

@@ -1,0 +1,40 @@
+"""X6 — automatic diagnosis of PVFS performance problems (§4.2.6).
+
+Report: on a 20-server cluster with injected faults (rogue hog
+processes, blocked/lossy resources), peer comparison gave "at least 66%
+correct identification of a server suffering under an injected fault and
+essentially no falsely indicated servers".
+"""
+
+from benchmarks.conftest import print_table
+from repro.diagnosis import PeerComparator, evaluate_detector
+
+
+def run_x6():
+    detector = PeerComparator()
+    return evaluate_detector(
+        detector, n_trials=30, n_servers=20, n_windows=120, severity=1.5, seed=11
+    )
+
+
+def test_x06_fault_diagnosis(run_once):
+    stats = run_once(run_x6)
+    rows = [
+        ["true positive", f"{stats['true_positive_rate']:.0%}"],
+        ["missed", f"{stats['missed_rate']:.0%}"],
+        ["misattributed", f"{stats['misattributed_rate']:.0%}"],
+        ["false positive (healthy)", f"{stats['false_positive_rate']:.0%}"],
+    ] + [
+        [f"detect {kind}", f"{rate:.0%}"] for kind, rate in stats["per_fault"].items()
+    ]
+    print_table(
+        "Peer-comparison diagnosis, 20 servers, injected faults",
+        ["metric", "rate"],
+        rows,
+        widths=[26, 8],
+    )
+    assert stats["true_positive_rate"] >= 0.66   # the report's floor
+    assert stats["false_positive_rate"] <= 0.05  # "essentially no" false flags
+    assert stats["misattributed_rate"] <= 0.1
+    # every injected fault class is detectable
+    assert all(rate > 0.5 for rate in stats["per_fault"].values())

@@ -1,0 +1,63 @@
+"""X7 — Reed-Solomon RAID and DiskReduce (SNL GPU-RAID; CMU DiskReduce).
+
+Report threads: arbitrary-dimension Reed-Solomon coding for extended
+RAID (throughput falls as parity count m grows — the GPU paper's
+motivation), and DiskReduce's replication-to-erasure capacity savings
+with reliability maintained.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.erasure import (
+    ReedSolomon,
+    diskreduce_capacity_overhead,
+    mttdl_mirrored,
+    mttdl_rs,
+)
+
+
+def run_x7():
+    data = bytes(np.random.default_rng(0).integers(0, 256, size=1 << 20, dtype=np.uint8))
+    enc_rows = []
+    for k, m in ((8, 1), (8, 2), (8, 3), (8, 4)):
+        rs = ReedSolomon(k, m)
+        t0 = time.perf_counter()
+        shares = rs.encode(data)
+        dt = time.perf_counter() - t0
+        # verify recovery from the worst case: all parity used
+        survivors = {i: shares[i] for i in range(m, k + m)}
+        assert rs.decode(survivors, data_len=len(data)) == data
+        enc_rows.append((f"{k}+{m}", len(data) / dt / 1e6, m))
+    mttf, mttr = 1.0e6, 24.0
+    rel_rows = [
+        ("3-replication", mttdl_mirrored(mttf, mttr) / 8766, diskreduce_capacity_overhead("3-replication")),
+        ("RS 8+2", mttdl_rs(mttf, mttr, 8, 2) / 8766, diskreduce_capacity_overhead("rs", 8, 2)),
+        ("RS 8+3", mttdl_rs(mttf, mttr, 8, 3) / 8766, diskreduce_capacity_overhead("rs", 8, 3)),
+    ]
+    return enc_rows, rel_rows
+
+
+def test_x07_erasure_raid(run_once):
+    enc_rows, rel_rows = run_once(run_x7)
+    print_table(
+        "Reed-Solomon encode throughput (1 MiB blocks)",
+        ["code", "MB/s", "parity"],
+        [[c, f"{bw:.1f}", m] for c, bw, m in enc_rows],
+        widths=[8, 10, 8],
+    )
+    print_table(
+        "DiskReduce: protection vs capacity overhead",
+        ["scheme", "MTTDL (years)", "overhead"],
+        [[s, f"{y:.3g}", f"{o:.0%}"] for s, y, o in rel_rows],
+        widths=[16, 14, 10],
+    )
+    # encode throughput decreases with parity count (the GPU motivation)
+    bws = [bw for _, bw, _ in enc_rows]
+    assert bws[0] > bws[-1]
+    # RS 8+2 beats 3-replication's MTTDL at an eighth of the overhead
+    rep, rs82 = rel_rows[0], rel_rows[1]
+    assert rs82[1] > rep[1]
+    assert rs82[2] < rep[2] / 4

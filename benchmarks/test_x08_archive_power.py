@@ -1,0 +1,59 @@
+"""X8 — power-efficient archival storage (§4.2.4, §5.8; Pergamum lineage).
+
+Report findings: semantic data placement lets disks sleep; in
+heterogeneous archives more (low-power) devices may counter-intuitively
+save power; at very low request rates placement barely matters.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.archive import Archive, ArchiveConfig, ArchiveDiskParams, session_workload
+
+
+def run_x8():
+    rng = np.random.default_rng(9)
+    day = 86400.0
+    busy = session_workload(day, 6.0, 30, 64, rng)
+    quiet = session_workload(day, 0.2, 5, 64, rng)
+    rows = []
+    for name, events in (("busy", busy), ("quiet", quiet)):
+        for placement in ("grouped", "striped"):
+            rep = Archive(
+                ArchiveConfig(n_disks=16, placement=placement)
+            ).evaluate(events, day)
+            rows.append((name, placement, rep.mean_power_w, rep.spinups))
+    # heterogeneous comparison: few big vs many small drives
+    events = session_workload(day, 16.0, 200, 256, np.random.default_rng(2), stat_fraction=0.0)
+    big = Archive(ArchiveConfig(n_disks=8, placement="grouped", n_groups=256)).evaluate(events, day)
+    small_drive = ArchiveDiskParams(active_w=3.0, idle_w=1.6, standby_w=0.1, spinup_w=6.0, spinup_s=4.0)
+    small = Archive(
+        ArchiveConfig(n_disks=32, placement="grouped", n_groups=256, disk=small_drive)
+    ).evaluate(events, day)
+    return rows, big, small
+
+
+def test_x08_archive_power(run_once):
+    rows, big, small = run_once(run_x8)
+    print_table(
+        "Archive mean power by workload and placement (16 disks)",
+        ["workload", "placement", "mean W", "spinups"],
+        [[w, p, f"{watts:.1f}", s] for w, p, watts, s in rows],
+        widths=[10, 11, 9, 9],
+    )
+    print_table(
+        "Heterogeneous: 8 big drives vs 32 low-power drives",
+        ["config", "mean W", "spinups"],
+        [
+            ["8 x 3.5\" drives", f"{big.mean_power_w:.1f}", big.spinups],
+            ["32 x low-power", f"{small.mean_power_w:.1f}", small.spinups],
+        ],
+        widths=[18, 9, 9],
+    )
+    by = {(w, p): watts for w, p, watts, _ in rows}
+    # grouping saves energy when busy...
+    assert by[("busy", "grouped")] < 0.8 * by[("busy", "striped")]
+    # ...and placement barely matters when quiet
+    assert abs(by[("quiet", "grouped")] - by[("quiet", "striped")]) < 0.15 * by[("quiet", "striped")]
+    # more (low-power) devices can draw less power in aggregate
+    assert small.mean_power_w < big.mean_power_w

@@ -1,0 +1,47 @@
+"""X10 — replication tradeoffs for write-mostly applications (§4.2.4).
+
+Report (Michigan/UCSC): discrete-event models "identify appropriate
+replication strategies to optimize application server utilization and
+storage system reliability" — more replicas buy availability but eat
+write bandwidth; the optimum is interior.
+"""
+
+from benchmarks.conftest import print_table
+from repro.replication import ReplicationConfig, sweep_replication
+
+YEAR = 365 * 86400.0
+
+
+def run_x10():
+    base = ReplicationConfig(
+        n_servers=12, server_mttf_s=5 * 86400.0, recover_s=12 * 3600.0
+    )
+    return sweep_replication(base, 2 * YEAR, seed=5)
+
+
+def test_x10_replication_tradeoff(run_once):
+    outs = run_once(run_x10)
+    rows = [
+        [o.replicas, f"{o.utilization:.2%}", f"{o.availability:.3%}",
+         o.data_loss_events, f"{o.write_bandwidth_fraction:.0%}"]
+        for o in outs
+    ]
+    print_table(
+        "Replication degree sweep (12 servers, write-mostly app, 2 years)",
+        ["replicas", "utilization", "availability", "data losses", "b/w used"],
+        rows,
+        widths=[10, 13, 14, 13, 10],
+    )
+    util = [o.utilization for o in outs]
+    avail = [o.availability for o in outs]
+    losses = [o.data_loss_events for o in outs]
+    # 1 replica loses data regularly; >= 4 replicas essentially never
+    assert losses[0] > 0
+    assert losses[2] < losses[0] / 10
+    assert losses[3] == 0
+    # availability improves with replication
+    assert avail[2] > avail[0]
+    # utilization has an interior optimum: fan-out eventually throttles
+    best = util.index(max(util))
+    assert 0 < best < len(util) - 1
+    assert util[-1] < util[best]

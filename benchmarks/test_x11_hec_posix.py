@@ -1,0 +1,70 @@
+"""X11 — POSIX HEC extensions (§2.2).
+
+Report: PDSI/SDM/ANL "performed tests on approximations of various POSIX
+extensions to demonstrate the performance advantages"; the layout-query
+extension was accepted into a future POSIX revision, and group-open
+(openg) removes the N-rank open storm.  Plus ScalaTrace loop compression
+(§5.4.2) on a checkpoint trace.
+"""
+
+from benchmarks.conftest import print_table
+from repro.pfs import PFSParams, SimPFS
+from repro.sim import Simulator
+from repro.tracing.records import TraceEvent, TraceLog
+from repro.tracing.scalatrace import compress_log
+
+
+def _open_storm(n_ranks: int, use_group: bool) -> float:
+    sim = Simulator()
+    pfs = SimPFS(sim, PFSParams())
+    sim.spawn(pfs.op_create(0, "/f"))
+    sim.run()
+    t0 = sim.now
+    if use_group:
+        def group():
+            yield from pfs.op_group_open(list(range(n_ranks)), "/f")
+        sim.spawn(group())
+    else:
+        def opener(r):
+            yield from pfs.op_open(r, "/f")
+        for r in range(n_ranks):
+            sim.spawn(opener(r))
+    return sim.run() - t0
+
+
+def run_x11():
+    rows = []
+    for n in (16, 64, 256, 1024):
+        storm = _open_storm(n, use_group=False)
+        group = _open_storm(n, use_group=True)
+        rows.append((n, storm, group, storm / group))
+    # ScalaTrace on a strided checkpoint trace
+    log = TraceLog()
+    n_ranks, steps = 8, 100
+    t = 0.0
+    for s in range(steps):
+        for r in range(n_ranks):
+            log.add(TraceEvent(t, r, "write", (s * n_ranks + r) * 4096, 4096))
+            t += 1.0
+    trace = compress_log(log)
+    return rows, trace
+
+
+def test_x11_hec_posix(run_once):
+    rows, trace = run_once(run_x11)
+    print_table(
+        "openg group-open vs per-rank open storm",
+        ["ranks", "storm s", "openg s", "speedup"],
+        [[n, s, g, f"{r:.0f}x"] for n, s, g, r in rows],
+        widths=[8, 12, 12, 9],
+    )
+    print(
+        f"\n  ScalaTrace: {trace['raw_events']} events -> "
+        f"{trace['stored_units']} stored units ({trace['ratio']:.0f}x)"
+    )
+    # group open is O(1): the speedup grows linearly with rank count
+    speedups = [r for _, _, _, r in rows]
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] > 100.0
+    # trace compression is large and lossless (asserted inside compress_log)
+    assert trace["ratio"] > 10.0

@@ -1,0 +1,39 @@
+"""X12 — pNFS vs NFS scaling (report §2.2/§5.7).
+
+Report: "By separating data and metadata access, pNFS eliminates the
+server bottlenecks inherent to NAS access methods" and "promises state of
+the art performance, massive scalability".
+"""
+
+from benchmarks.conftest import print_table
+from repro.pnfs import run_scaling_experiment
+from repro.pnfs.server import NFSParams
+
+
+def run_x12():
+    return run_scaling_experiment(
+        [1, 2, 4, 8, 16], nbytes_per_client=16 << 20, params=NFSParams()
+    )
+
+
+def test_x12_pnfs_scaling(run_once):
+    rows = run_once(run_x12)
+    print_table(
+        "Aggregate write bandwidth: NFS funnel vs pNFS direct striping",
+        ["clients", "NFS MB/s", "pNFS MB/s", "speedup"],
+        [[r["clients"], f"{r['nfs_MBps']:.0f}", f"{r['pnfs_MBps']:.0f}",
+          f"{r['speedup']:.1f}x"] for r in rows],
+        widths=[9, 11, 11, 9],
+    )
+    p = NFSParams()
+    nfs = [r["nfs_MBps"] for r in rows]
+    pnfs = [r["pnfs_MBps"] for r in rows]
+    # NFS saturates at the single server NIC
+    assert max(nfs) <= p.server_nic_Bps / 1e6 * 1.05
+    assert nfs[-1] <= nfs[2] * 1.1
+    # pNFS keeps scaling until the data-server NICs fill
+    assert pnfs[-1] > 4.0 * nfs[-1]
+    assert pnfs[-1] <= p.n_data_servers * p.server_nic_Bps / 1e6 * 1.05
+    # and the gap widens with client count
+    speedups = [r["speedup"] for r in rows]
+    assert speedups[-1] > speedups[0]

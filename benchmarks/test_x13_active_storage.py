@@ -1,0 +1,53 @@
+"""X13 — Active Storage (report §2.1.5, PNNL/SDM collaboration).
+
+Pushing reduction-heavy analysis kernels to the storage servers avoids
+moving the dataset and parallelizes the scan; compute-heavy kernels on
+slow server CPUs still belong at the client — the crossover this bench
+sweeps.
+"""
+
+from benchmarks.conftest import print_table
+from repro.activestorage import ActiveKernel, compare_plans
+from repro.pfs import PFSParams
+
+PARAMS = PFSParams(n_servers=8)
+
+
+def run_x13():
+    rows = []
+    for name, reduction, server_cpu in (
+        ("histogram", 10_000.0, 0.5e9),
+        ("feature-extract", 100.0, 0.5e9),
+        ("filter-10%", 10.0, 0.5e9),
+        ("transform (no reduction)", 1.0, 0.5e9),
+        ("heavy-kernel slow CPU", 1.0, 0.01e9),
+    ):
+        kernel = ActiveKernel(
+            name=name, dataset_bytes=64 << 20, reduction=reduction,
+            server_cpu_Bps=server_cpu, client_cpu_Bps=10e9,
+        )
+        out = compare_plans(kernel, PARAMS)
+        rows.append((name, reduction, out))
+    return rows
+
+
+def test_x13_active_storage(run_once):
+    rows = run_once(run_x13)
+    print_table(
+        "Active storage vs client-pull (64 MiB dataset, 8 servers)",
+        ["kernel", "reduction", "pull s", "active s", "speedup", "net saved"],
+        [
+            [n, f"{r:g}", o["client_pull_s"], o["active_s"],
+             f"{o['speedup']:.1f}x", f"{o['network_saved_frac']:.0%}"]
+            for n, r, o in rows
+        ],
+        widths=[26, 10, 10, 10, 9, 10],
+    )
+    by = {n: o for n, _, o in rows}
+    # reducing kernels: clear active-storage win with ~all network saved
+    assert by["histogram"]["speedup"] > 2.0
+    assert by["histogram"]["network_saved_frac"] > 0.99
+    # the win shrinks as reduction falls ...
+    assert by["histogram"]["speedup"] >= by["filter-10%"]["speedup"]
+    # ... and inverts for compute-bound kernels on weak server CPUs
+    assert by["heavy-kernel slow CPU"]["speedup"] < 1.0

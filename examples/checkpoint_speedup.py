@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Fig 8 in miniature: PLFS checkpoint speedups per application and FS.
+
+Replays application-shaped N-1 checkpoint patterns (FLASH-like,
+Chombo-like, a LANL-production-like code, QCD-like, S3D-like) on the
+simulated parallel file system, directly and through PLFS, for each of
+the three deployed-FS personalities.
+
+Run:  python examples/checkpoint_speedup.py [n_ranks]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.pfs import GPFS_LIKE, LUSTRE_LIKE, PANFS_LIKE
+from repro.plfs.simbridge import speedup
+from repro.workloads import APP_CATALOG, app_pattern
+
+
+def main(n_ranks: int = 32) -> None:
+    rng = np.random.default_rng(7)
+    print(f"{n_ranks} ranks, 8 storage servers per file system\n")
+    header = f"{'application':<18}{'file system':<14}{'direct MB/s':>12}{'PLFS MB/s':>12}{'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for key, profile in APP_CATALOG.items():
+        pattern = app_pattern(profile, n_ranks, rng)
+        for params in (PANFS_LIKE, LUSTRE_LIKE, GPFS_LIKE):
+            direct, plfs, ratio = speedup(params.with_servers(8), pattern)
+            print(
+                f"{profile.name:<18}{params.name:<14}"
+                f"{direct.bandwidth_MBps:>12.1f}{plfs.bandwidth_MBps:>12.1f}"
+                f"{ratio:>8.1f}x"
+            )
+        print()
+    print(
+        "Expected shape (report Fig 8): small unaligned strided patterns\n"
+        "(FLASH, QCD) gain the most; segmented large-record patterns (S3D)\n"
+        "the least; every file system benefits."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 32)

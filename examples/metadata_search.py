@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Spyglass-style metadata search: partition pruning vs a full table scan.
+
+Builds a 100k-file namespace with realistic subtree locality, runs a few
+QUASAR-syntax queries through both indexes, and reports scan savings —
+the "10-1000x faster than databases" PDSI claim.
+
+Run:  python examples/metadata_search.py
+"""
+
+import numpy as np
+
+from repro.metasearch import FlatScanIndex, PartitionedIndex, parse_query, synth_namespace
+
+
+def main() -> None:
+    records = synth_namespace(100_000, np.random.default_rng(7))
+    flat = FlatScanIndex(records)
+    part = PartitionedIndex(records)
+    sec = PartitionedIndex(records, partition_by="owner")
+    print(f"namespace: {len(records)} files, {len(part.partitions)} subtree partitions\n")
+    queries = [
+        "project=3; ext=.h5",
+        "owner=5; size>1000000",
+        "dir=/proj2; mtime<200",
+        "size>50000000; mtime>300",
+        "owner=12",
+    ]
+    header = f"{'query':<32}{'hits':>7}{'flat scan':>11}{'pruned scan':>13}{'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for text in queries:
+        q = parse_query(text)
+        hits_f, sf = flat.search(q)
+        index = sec if q.owner is not None and q.ext is None else part
+        hits_p, sp = index.search(q)
+        assert len(hits_f) == len(hits_p)
+        speedup = sf.records_scanned / max(sp.records_scanned, 1)
+        print(
+            f"{text:<32}{len(hits_p):>7}{sf.records_scanned:>11}"
+            f"{sp.records_scanned:>13}{speedup:>8.0f}x"
+        )
+    print(
+        "\nPartition summaries prune subtrees that cannot match; security-\n"
+        "aware (owner) partitioning maximizes pruning for owner-restricted\n"
+        "queries.  A corrupted partition rebuilds from its region alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

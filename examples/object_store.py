@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""RADOS-lite: surviving OSD failures with CRUSH-placed replication.
+
+Writes a few hundred objects into the Ceph-lineage object store, kills
+OSDs one at a time, and shows re-peering keeping everything readable
+while moving only ~1/n of the data per failure.
+
+Run:  python examples/object_store.py
+"""
+
+import numpy as np
+
+from repro.rados import RadosCluster
+
+
+def main() -> None:
+    n_osds, replicas = 10, 3
+    cluster = RadosCluster(n_osds=n_osds, replicas=replicas)
+    rng = np.random.default_rng(0)
+    blobs = {}
+    for i in range(300):
+        name = f"obj.{i:04d}"
+        blobs[name] = bytes(rng.integers(0, 256, size=256, dtype=np.uint8))
+        cluster.write(name, blobs[name])
+    total = cluster.total_stored_bytes()
+    print(f"{len(blobs)} objects, {replicas} replicas on {n_osds} OSDs "
+          f"({total / 1024:.0f} KiB stored)")
+    print(f"epoch {cluster.osdmap.epoch}, up set: {sorted(cluster.osdmap.up)}\n")
+
+    for victim in (3, 7):
+        moved = cluster.fail_osd(victim)
+        cluster.check_invariants()
+        ok = all(cluster.read(n) == d for n, d in blobs.items())
+        print(
+            f"OSD {victim} fails -> epoch {cluster.osdmap.epoch}: "
+            f"recovered {moved / 1024:.0f} KiB "
+            f"({moved / total:.0%} of stored data), "
+            f"degraded={len(cluster.degraded_objects())}, "
+            f"all objects readable: {ok}"
+        )
+
+    moved = cluster.rejoin_osd(3)
+    cluster.check_invariants()
+    print(
+        f"OSD 3 rejoins (empty) -> epoch {cluster.osdmap.epoch}: "
+        f"backfilled {moved / 1024:.0f} KiB"
+    )
+    print(
+        "\nStraw placement adapts minimally: each failure relocates roughly\n"
+        "one OSD's share, not the whole namespace — the CRUSH property that\n"
+        "made Ceph (a project PDSI helped incubate) scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""pNFS vs plain NFS: the scaling story behind a decade of IETF work.
+
+Runs the full NFSv4.1 layout protocol (LAYOUTGET, direct striped I/O,
+LAYOUTCOMMIT, LAYOUTRETURN, recalls) on the simulated cluster and sweeps
+client counts for both data paths.
+
+Run:  python examples/pnfs_demo.py
+"""
+
+from repro.pnfs import LayoutKind, LayoutManager, NFSCluster, run_scaling_experiment
+from repro.pnfs.server import NFSParams
+from repro.pfs.layout import StripeLayout
+from repro.sim import Simulator
+
+
+def protocol_walkthrough() -> None:
+    print("NFSv4.1 layout protocol walkthrough")
+    mgr = LayoutManager(StripeLayout(4, 1 << 20))
+    layout = mgr.grant(client_id=7, path="/vol/ckpt", kind=LayoutKind.FILE)
+    print(f"  LAYOUTGET    -> layout {layout.layout_id} ({layout.kind.value}, {layout.iomode})")
+    servers = layout.servers_for(0, 8 << 20)
+    print(f"  direct I/O   -> stripes on data servers {servers}")
+    mgr.check_io(layout, 0, 8 << 20, write=True)
+    size = mgr.commit(layout, 8 << 20)
+    print(f"  LAYOUTCOMMIT -> MDS now shows size {size}")
+    recalled = mgr.recall_file("/vol/ckpt")
+    print(f"  CB_LAYOUTRECALL -> {len(recalled)} layout(s) recalled (restripe)")
+    mgr.layout_return(layout)
+    print(f"  LAYOUTRETURN -> outstanding layouts: {mgr.outstanding('/vol/ckpt')}")
+    needs = {k: LayoutManager.commit_required(k, extended_file=False) for k in LayoutKind}
+    print(f"  commit-required when not growing: "
+          + ", ".join(f"{k.value}={v}" for k, v in needs.items()))
+    print()
+
+
+def scaling() -> None:
+    params = NFSParams()
+    rows = run_scaling_experiment([1, 2, 4, 8, 16], nbytes_per_client=16 << 20, params=params)
+    print(f"aggregate write bandwidth, {params.n_data_servers} data servers")
+    print(f"{'clients':>8}{'NFS MB/s':>11}{'pNFS MB/s':>12}{'speedup':>9}")
+    for r in rows:
+        print(f"{r['clients']:>8}{r['nfs_MBps']:>11.0f}{r['pnfs_MBps']:>12.0f}{r['speedup']:>8.1f}x")
+    print(
+        "\nNFS funnels every byte through one server NIC (~112 MB/s ceiling);\n"
+        "pNFS separates metadata from data and scales with data servers —\n"
+        "'eliminating the server bottlenecks inherent to NAS access methods'."
+    )
+
+
+if __name__ == "__main__":
+    protocol_walkthrough()
+    scaling()

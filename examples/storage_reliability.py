@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Storage reliability toolbox: erasure codes, diagnosis, burst buffers.
+
+Three of the report's reliability threads in one tour:
+1. Reed-Solomon protection levels vs capacity overhead (DiskReduce),
+2. peer-comparison fault diagnosis on a 20-server cluster,
+3. a flash burst buffer pushing back Fig 5's utilization collapse.
+
+Run:  python examples/storage_reliability.py
+"""
+
+import numpy as np
+
+from repro.burstbuffer import BurstBufferConfig, best_utilization
+from repro.diagnosis import PeerComparator, evaluate_detector
+from repro.erasure import ReedSolomon, diskreduce_capacity_overhead, mttdl_mirrored, mttdl_rs
+from repro.failure import MachineTrend
+
+
+def main() -> None:
+    print("1. DiskReduce: protection vs capacity overhead")
+    mttf, mttr = 1.0e6, 24.0
+    schemes = [
+        ("3-replication", mttdl_mirrored(mttf, mttr), diskreduce_capacity_overhead("3-replication")),
+        ("RS 8+2", mttdl_rs(mttf, mttr, 8, 2), diskreduce_capacity_overhead("rs", 8, 2)),
+        ("RS 8+3", mttdl_rs(mttf, mttr, 8, 3), diskreduce_capacity_overhead("rs", 8, 3)),
+    ]
+    for name, mttdl, ovh in schemes:
+        print(f"   {name:<15} MTTDL {mttdl / 8766:>12.3g} years   overhead {ovh:.0%}")
+    rs = ReedSolomon(8, 2)
+    data = bytes(np.random.default_rng(0).integers(0, 256, 4096, dtype=np.uint8))
+    shares = rs.encode(data)
+    recovered = rs.decode({i: shares[i] for i in (0, 1, 3, 4, 5, 6, 8, 9)}, len(data))
+    print(f"   8+2 recovery with shares 2 and 7 lost: {'ok' if recovered == data else 'FAIL'}\n")
+
+    print("2. Peer-comparison diagnosis (20 servers, injected faults)")
+    stats = evaluate_detector(PeerComparator(), n_trials=20, n_servers=20, seed=11)
+    print(f"   true positives : {stats['true_positive_rate']:.0%} (report: >= 66%)")
+    print(f"   false positives: {stats['false_positive_rate']:.0%} (report: essentially none)")
+    for kind, rate in stats["per_fault"].items():
+        print(f"   {kind:<11}: {rate:.0%} detected")
+    print()
+
+    print("3. Burst buffer vs Fig 5's utilization collapse")
+    trend = MachineTrend(chip_doubling_months=24.0)
+    cfg = BurstBufferConfig(bb_write_Bps=10e9, drain_Bps=1e9, pfs_direct_Bps=1e9)
+    ckpt = 900e9
+    print(f"   {'year':<6}{'MTTI':>10}{'direct':>9}{'with BB':>9}")
+    for year in range(2008, 2019, 2):
+        mtti = trend.mtti_s(float(year))
+        d = best_utilization(mtti, ckpt, cfg, via_bb=False)["utilization"]
+        b = best_utilization(mtti, ckpt, cfg, via_bb=True)["utilization"]
+        print(f"   {year:<6}{mtti / 60:>8.0f}m {d:>8.1%} {b:>8.1%}")
+    print("\n   the flash tier defers the <50% crossing by years; near exascale")
+    print("   the drain bandwidth (not the flash) becomes the binding limit")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — a working reproduction of the Petascale Data Storage Institute.
+
+The primary contribution is a complete pure-Python **PLFS** (Parallel
+Log-structured File System): containers, per-writer data/index droppings,
+a merged last-writer-wins global index, POSIX-like and MPI-IO-like front
+ends, and container flattening.  Around it sit the substrates and studies
+the PDSI report describes: a discrete-event parallel-file-system
+simulator, device models (disk, flash FTL, tape), GIGA+ directories,
+failure analysis and exascale projections, TCP incast, Argon insulation,
+placement strategies, layout-aware collective I/O, GMC prefetching,
+Hadoop-over-PFS, an HDF5-like format, and the PDSI tracing/survey tools.
+
+Quick start::
+
+    from repro import Plfs
+    fs = Plfs("/tmp/plfs-backing")
+    fs.create("/ckpt")
+    writers = [fs.open_write("/ckpt", writer=f"rank{r}", create=False)
+               for r in range(4)]
+    for r, w in enumerate(writers):
+        w.write(bytes([r]) * 100, r * 100)   # any offsets, any order
+    for w in writers:
+        w.close()
+    assert len(fs.read_file("/ckpt")) == 400
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-figure reproduction index.
+"""
+
+from repro.plfs import (
+    Container,
+    GlobalIndex,
+    IntervalMap,
+    Plfs,
+    PlfsMPIIO,
+    PlfsReadHandle,
+    PlfsWriteHandle,
+    flatten,
+    is_container,
+)
+from repro.mpi import Comm, run_spmd
+from repro.sim import Simulator
+from repro.pfs import GPFS_LIKE, LUSTRE_LIKE, PANFS_LIKE, PFSParams, SimPFS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Comm",
+    "Container",
+    "GPFS_LIKE",
+    "GlobalIndex",
+    "IntervalMap",
+    "LUSTRE_LIKE",
+    "PANFS_LIKE",
+    "PFSParams",
+    "Plfs",
+    "PlfsMPIIO",
+    "PlfsReadHandle",
+    "PlfsWriteHandle",
+    "SimPFS",
+    "Simulator",
+    "flatten",
+    "is_container",
+    "run_spmd",
+    "__version__",
+]

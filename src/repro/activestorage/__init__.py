@@ -1,0 +1,17 @@
+"""Active Storage (report §2.1.5: PNNL's "Advanced Data Processing with
+Active Storage", pursued with the SDM Center; also the POSIX-extension
+wishlist's "active storage concepts").
+
+Analysis kernels with high data reduction (histograms, min/max, feature
+extraction) can run *on the storage servers*, shipping only results: the
+network moves ``1/reduction`` of the bytes, and the servers' aggregate
+CPU replaces the single client's.  The tradeoff inverts for compute-heavy
+kernels on slow server CPUs.
+
+:mod:`repro.activestorage.model` runs both execution plans over the DES
+substrate and exposes the crossover.
+"""
+
+from repro.activestorage.model import ActiveKernel, run_analysis, compare_plans
+
+__all__ = ["ActiveKernel", "compare_plans", "run_analysis"]

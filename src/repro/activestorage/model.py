@@ -1,0 +1,113 @@
+"""Client-pull vs active-storage execution of an analysis kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pfs.params import PFSParams
+from repro.pfs.system import SimPFS
+from repro.sim import Simulator, Timeout
+
+
+@dataclass(frozen=True)
+class ActiveKernel:
+    """An analysis pass over one dataset.
+
+    ``reduction``: input bytes per output byte (histogram: huge; filter:
+    modest).  ``client_cpu_Bps`` / ``server_cpu_Bps``: processing rates —
+    storage-server CPUs are typically slower and shared.
+    """
+
+    name: str = "histogram"
+    dataset_bytes: int = 256 << 20
+    reduction: float = 1000.0
+    client_cpu_Bps: float = 2e9
+    server_cpu_Bps: float = 0.5e9
+
+    def __post_init__(self) -> None:
+        if self.dataset_bytes < 1 or self.reduction < 1.0:
+            raise ValueError("dataset must be non-empty and reduction >= 1")
+        if min(self.client_cpu_Bps, self.server_cpu_Bps) <= 0:
+            raise ValueError("CPU rates must be positive")
+
+
+@dataclass
+class PlanResult:
+    plan: str
+    makespan_s: float
+    network_bytes: int
+
+
+def run_analysis(
+    kernel: ActiveKernel, params: PFSParams, plan: str, path: str = "/data"
+) -> PlanResult:
+    """Execute one plan: 'client-pull' or 'active'.
+
+    client-pull: the client reads the whole striped dataset, then
+    processes it at the client CPU rate.
+
+    active: every server scans its local share (disk), processes it at
+    the server CPU rate (all servers in parallel), and ships only the
+    reduced results to the client.
+    """
+    if plan not in ("client-pull", "active"):
+        raise ValueError(f"unknown plan {plan!r}")
+    sim = Simulator()
+    pfs = SimPFS(sim, params)
+
+    def ingest():
+        yield from pfs.op_create(0, path)
+        pos = 0
+        while pos < kernel.dataset_bytes:
+            take = min(params.write_buffer_bytes, kernel.dataset_bytes - pos)
+            yield from pfs.op_write(0, path, pos, take)
+            pos += take
+
+    sim.spawn(ingest())
+    sim.run()
+    start = sim.now
+    net_bytes = 0
+
+    if plan == "client-pull":
+        net_bytes = kernel.dataset_bytes
+
+        def job():
+            pos = 0
+            while pos < kernel.dataset_bytes:
+                take = min(params.write_buffer_bytes, kernel.dataset_bytes - pos)
+                yield from pfs.op_read(1, path, pos, take)
+                pos += take
+            yield Timeout(kernel.dataset_bytes / kernel.client_cpu_Bps)
+
+        sim.spawn(job())
+    else:
+        share = kernel.dataset_bytes // params.n_servers
+        result_bytes = max(1, int(share / kernel.reduction))
+        net_bytes = result_bytes * params.n_servers
+
+        def server_task(i: int):
+            # local scan: the server's disk streams its share
+            disk = pfs.servers[i].disk
+            t_scan = share / disk.transfer_rate(disk.head_pos)
+            t_cpu = share / kernel.server_cpu_Bps
+            # scan and compute overlap; the slower dominates
+            yield Timeout(max(t_scan, t_cpu))
+            # ship the reduced result
+            yield Timeout(params.rpc_latency_s + result_bytes / params.server_nic_Bps)
+
+        for i in range(params.n_servers):
+            sim.spawn(server_task(i))
+    sim.run()
+    return PlanResult(plan=plan, makespan_s=sim.now - start, network_bytes=net_bytes)
+
+
+def compare_plans(kernel: ActiveKernel, params: PFSParams) -> dict:
+    """Both plans + the speedup of going active."""
+    pull = run_analysis(kernel, params, "client-pull")
+    active = run_analysis(kernel, params, "active")
+    return {
+        "client_pull_s": pull.makespan_s,
+        "active_s": active.makespan_s,
+        "speedup": pull.makespan_s / active.makespan_s,
+        "network_saved_frac": 1.0 - active.network_bytes / pull.network_bytes,
+    }

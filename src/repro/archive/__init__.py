@@ -1,0 +1,35 @@
+"""Power-aware disk archival storage (report §4.2.4 "Power Management",
+§5.8 UCSC energy study; the Pergamum lineage).
+
+UCSC "constructed a discrete event simulator ... to test the impact
+various data placement techniques had upon energy use in a highly-
+heterogeneous, archival write-once storage system", finding that
+(1) semantic grouping of related data lets most disks sleep,
+(2) "utilizing more devices in the storage system may counter-intuitively
+save power", and (3) under very low request rates placement policies
+have minimal impact.  Pergamum additionally keeps per-disk metadata in
+NVRAM so lookups don't spin anything up.
+
+- :mod:`repro.archive.disks`    — spin-state disk model with energy
+  accounting (active/idle/standby, spin-up cost),
+- :mod:`repro.archive.system`   — the archive: placement policies
+  (striped vs semantic grouping), NVRAM metadata option, session-based
+  read workload, energy evaluation.
+"""
+
+from repro.archive.disks import ArchiveDiskParams, disk_energy
+from repro.archive.system import (
+    Archive,
+    ArchiveConfig,
+    EnergyReport,
+    session_workload,
+)
+
+__all__ = [
+    "Archive",
+    "ArchiveConfig",
+    "ArchiveDiskParams",
+    "EnergyReport",
+    "disk_energy",
+    "session_workload",
+]

@@ -1,0 +1,109 @@
+"""The archive: placement policies, workloads, and energy evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.archive.disks import ArchiveDiskParams, disk_energy
+
+
+@dataclass(frozen=True)
+class ArchiveConfig:
+    """One archive deployment."""
+
+    n_disks: int = 16
+    n_groups: int = 64                 # semantic object groups
+    placement: str = "grouped"         # 'grouped' | 'striped'
+    nvram_metadata: bool = False       # Pergamum: stats served without spin-up
+    disk: ArchiveDiskParams = field(default_factory=ArchiveDiskParams)
+
+    def __post_init__(self) -> None:
+        if self.n_disks < 1 or self.n_groups < 1:
+            raise ValueError("need >= 1 disk and group")
+        if self.placement not in ("grouped", "striped"):
+            raise ValueError(f"unknown placement {self.placement!r}")
+
+
+@dataclass
+class EnergyReport:
+    total_J: float
+    mean_power_w: float
+    spinups: int
+    per_disk_J: np.ndarray
+    requests: int
+
+
+def session_workload(
+    duration_s: float,
+    sessions_per_hour: float,
+    reads_per_session: int,
+    n_groups: int,
+    rng: np.random.Generator,
+    stat_fraction: float = 0.3,
+) -> list[tuple[float, int, str]]:
+    """Archival read workload: bursty *sessions* against one group each.
+
+    Returns [(time, group, kind)], kind in {'read', 'stat'} — a retrieval
+    session (restore, audit, legal hold) touches many objects of one
+    semantic group in a short burst, which is exactly why grouping them
+    on one disk lets the other disks sleep.
+    """
+    if duration_s <= 0 or sessions_per_hour < 0:
+        raise ValueError("bad workload parameters")
+    n_sessions = rng.poisson(sessions_per_hour * duration_s / 3600.0)
+    events: list[tuple[float, int, str]] = []
+    for _ in range(n_sessions):
+        start = rng.uniform(0.0, duration_s * 0.95)
+        group = int(rng.integers(0, n_groups))
+        t = start
+        for _ in range(reads_per_session):
+            kind = "stat" if rng.random() < stat_fraction else "read"
+            events.append((min(t, duration_s), group, kind))
+            t += rng.exponential(2.0)
+    events.sort()
+    return events
+
+
+class Archive:
+    """Placement + energy evaluation for a session workload."""
+
+    def __init__(self, config: ArchiveConfig) -> None:
+        self.config = config
+
+    def disk_of(self, group: int, obj_index: int) -> int:
+        c = self.config
+        if c.placement == "grouped":
+            return group % c.n_disks          # whole group on one disk
+        return (group + obj_index) % c.n_disks  # objects spread round-robin
+
+    def evaluate(
+        self, events: list[tuple[float, int, str]], duration_s: float
+    ) -> EnergyReport:
+        """Energy to serve the workload over ``duration_s``."""
+        c = self.config
+        per_disk_times: dict[int, list[float]] = {d: [] for d in range(c.n_disks)}
+        obj_counter: dict[int, int] = {}
+        served = 0
+        for t, group, kind in events:
+            if kind == "stat" and c.nvram_metadata:
+                continue  # answered from NVRAM, no disk wakes
+            i = obj_counter.get(group, 0)
+            obj_counter[group] = i + 1
+            per_disk_times[self.disk_of(group, i)].append(t)
+            served += 1
+        per_disk = np.zeros(c.n_disks)
+        spinups = 0
+        for d in range(c.n_disks):
+            rep = disk_energy(np.asarray(per_disk_times[d]), duration_s, c.disk)
+            per_disk[d] = rep["total_J"]
+            spinups += rep["spinups"]
+        total = float(per_disk.sum())
+        return EnergyReport(
+            total_J=total,
+            mean_power_w=total / duration_s,
+            spinups=spinups,
+            per_disk_J=per_disk,
+            requests=served,
+        )

@@ -1,0 +1,30 @@
+"""Argon: performance insulation for shared storage (report Fig 10).
+
+When a streaming job and a random-I/O job share a disk, naive FIFO
+interleaving forces a seek before nearly every sequential access, so the
+streamer gets far less than its fair share *and* total useful work drops.
+Argon's remedy is to timeslice the disk head: within a quantum one job
+runs alone, preserving its locality; a small "guard band" bounds what a
+misbehaving neighbour can take.  On striped (multi-server) storage the
+slices must additionally be *co-scheduled* across servers, or a
+synchronous client waits for the last server's slice to come around and
+loses most of the benefit — co-scheduling delivers ~90% of best case.
+"""
+
+from repro.argon.scheduler import (
+    RandomWorkload,
+    SequentialWorkload,
+    coscheduling_experiment,
+    shared_fifo,
+    shared_timeslice,
+    standalone_throughput,
+)
+
+__all__ = [
+    "RandomWorkload",
+    "SequentialWorkload",
+    "coscheduling_experiment",
+    "shared_fifo",
+    "shared_timeslice",
+    "standalone_throughput",
+]

@@ -1,0 +1,26 @@
+"""Flash burst buffer for checkpoints (PDSI follow-on #6 in §1.1:
+"double-buffer writes in NAND Flash storage to decouple host blocking
+during checkpoint from disk write time in the storage system").
+
+The application blocks only while dumping into flash (fast); the buffer
+drains to the parallel file system in the background during the next
+compute interval.  The checkpoint interval must leave the buffer time to
+drain, which caps how aggressively one can checkpoint — the interesting
+trade this module exposes together with the Daly model.
+"""
+
+from repro.burstbuffer.model import (
+    BurstBufferConfig,
+    best_utilization,
+    checkpoint_stall_s,
+    min_interval_s,
+    simulate_burst_buffer_run,
+)
+
+__all__ = [
+    "BurstBufferConfig",
+    "best_utilization",
+    "checkpoint_stall_s",
+    "min_interval_s",
+    "simulate_burst_buffer_run",
+]

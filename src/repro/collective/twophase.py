@@ -1,0 +1,128 @@
+"""Two-phase collective write with naive or layout-aware file domains."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pfs.params import PFSParams
+from repro.pfs.system import SimPFS
+from repro.sim import Simulator, Timeout
+from repro.workloads.patterns import Pattern, n1_strided
+
+
+@dataclass(frozen=True)
+class CollectiveConfig:
+    """One collective-write experiment."""
+
+    n_ranks: int = 16
+    n_aggregators: int = 4
+    record_bytes: int = 37 * 1024     # unaligned on purpose
+    steps: int = 4
+    shuffle_Bps: float = 1e9 / 8      # phase-1 interconnect bandwidth
+
+    def pattern(self) -> Pattern:
+        return n1_strided(self.n_ranks, self.record_bytes, self.steps)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_ranks * self.record_bytes * self.steps
+
+
+def even_domains(total_bytes: int, n_aggregators: int) -> list[tuple[int, int]]:
+    """Stock ROMIO: even byte partition, oblivious to striping."""
+    if n_aggregators < 1:
+        raise ValueError("need at least one aggregator")
+    size = total_bytes // n_aggregators
+    domains = []
+    start = 0
+    for i in range(n_aggregators):
+        end = total_bytes if i == n_aggregators - 1 else start + size
+        domains.append((start, end))
+        start = end
+    return domains
+
+
+def aligned_domains(
+    total_bytes: int, n_aggregators: int, stripe_unit: int
+) -> list[tuple[int, int]]:
+    """Layout-aware: domain boundaries snap to stripe-unit multiples, so no
+    two aggregators ever share a lock block or split a server request."""
+    if n_aggregators < 1 or stripe_unit < 1:
+        raise ValueError("bad aggregator count or stripe unit")
+    n_units = (total_bytes + stripe_unit - 1) // stripe_unit
+    per = max(1, n_units // n_aggregators)
+    domains = []
+    start_unit = 0
+    for i in range(n_aggregators):
+        end_unit = n_units if i == n_aggregators - 1 else min(start_unit + per, n_units)
+        s = start_unit * stripe_unit
+        e = min(end_unit * stripe_unit, total_bytes)
+        if e > s:
+            domains.append((s, e))
+        start_unit = end_unit
+    return domains
+
+
+@dataclass
+class CollectiveResult:
+    scheme: str
+    makespan_s: float
+    total_bytes: int
+    lock_migrations: int
+    server_requests: int
+
+    @property
+    def bandwidth_MBps(self) -> float:
+        return self.total_bytes / self.makespan_s / 1e6 if self.makespan_s else 0.0
+
+
+def run_collective_write(
+    config: CollectiveConfig,
+    params: PFSParams,
+    layout_aware: bool,
+    path: str = "/out",
+) -> CollectiveResult:
+    """Simulate phase-1 shuffle + phase-2 aggregator writes.
+
+    Phase 1 cost: each aggregator receives its domain's bytes over the
+    interconnect (same for both schemes).  Phase 2: each aggregator writes
+    its domain; the naive scheme's unaligned boundaries cause lock
+    migrations between neighbouring aggregators and split server requests.
+    Aggregator writes are chunked at the client buffer size, as ROMIO's
+    collective buffer does.
+    """
+    sim = Simulator()
+    pfs = SimPFS(sim, params)
+    sim.spawn(pfs.op_create(0, path))
+    sim.run()
+    total = config.total_bytes
+    if layout_aware:
+        domains = aligned_domains(total, config.n_aggregators, params.stripe_unit)
+        scheme = "layout-aware"
+    else:
+        domains = even_domains(total, config.n_aggregators)
+        scheme = "naive-even"
+    start = sim.now
+
+    def aggregator(agg_id: int, lo: int, hi: int):
+        nbytes = hi - lo
+        # phase 1: gather from ranks over the interconnect
+        yield Timeout(nbytes / config.shuffle_Bps)
+        # phase 2: write the domain in collective-buffer-sized chunks
+        buf = params.write_buffer_bytes
+        pos = lo
+        while pos < hi:
+            take = min(buf, hi - pos)
+            yield from pfs.op_write(agg_id, path, pos, take)
+            pos += take
+
+    for i, (lo, hi) in enumerate(domains):
+        sim.spawn(aggregator(i, lo, hi))
+    sim.run()
+    return CollectiveResult(
+        scheme=scheme,
+        makespan_s=sim.now - start,
+        total_bytes=total,
+        lock_migrations=pfs.total_lock_migrations(),
+        server_requests=int(sum(s.counters["requests"] for s in pfs.servers)),
+    )

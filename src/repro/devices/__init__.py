@@ -1,0 +1,23 @@
+"""Storage device models: positional magnetic disk, flash SSD with an FTL.
+
+These are the leaves of the simulated storage stack.  Each model exposes a
+pure ``service_time`` computation (usable analytically and from the DES) so
+model behaviour is testable without running a full simulation.
+"""
+
+from repro.devices.disk import Disk, DiskParams, SEVEN_K2_SATA, FIFTEEN_K_SAS
+from repro.devices.flash import FlashDevice, FlashParams, SustainedWriteResult
+from repro.devices.catalog import DEVICE_CATALOG, DeviceSpec, device_model
+
+__all__ = [
+    "DEVICE_CATALOG",
+    "DeviceSpec",
+    "Disk",
+    "DiskParams",
+    "FIFTEEN_K_SAS",
+    "FlashDevice",
+    "FlashParams",
+    "SEVEN_K2_SATA",
+    "SustainedWriteResult",
+    "device_model",
+]

@@ -1,0 +1,24 @@
+"""Parallel file systems under Hadoop-style data-intensive computing
+(report §4.2.7 / Fig 12).
+
+CMU replaced HDFS under Hadoop with PVFS through a thin shim and measured
+a large text search (grep): the naive shim ran *more than twice as slow*
+as native HDFS; adding HDFS-style readahead to the shim recovered most of
+the gap; exposing PVFS's file layout (so Hadoop schedules map tasks on
+the nodes holding their data) closed it entirely.
+
+:mod:`repro.dfs.backends` models the two storage backends; and
+:mod:`repro.dfs.mapreduce` runs the grep-like job over a node cluster.
+"""
+
+from repro.dfs.backends import ClusterSpec, HDFSBackend, PVFSShimBackend
+from repro.dfs.mapreduce import GrepJob, JobResult, run_grep
+
+__all__ = [
+    "ClusterSpec",
+    "GrepJob",
+    "HDFSBackend",
+    "JobResult",
+    "PVFSShimBackend",
+    "run_grep",
+]

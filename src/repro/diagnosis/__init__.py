@@ -1,0 +1,29 @@
+"""Automatic diagnosis of parallel file-system performance problems
+(report §4.2.6).
+
+CMU's approach: faults manifest as *rare* behaviour — one server whose
+OS-level metrics (CPU, disk, network throughput/latency) deviate from
+its peers, which in a balanced parallel file system all do the same
+work.  Peer comparison needs no application knowledge, no tracing, and
+no model of correct behaviour.  Tested with iozone + injected faults
+("rogue hog processes, blocked/lossy resources") it identified the
+faulty server in at least 66% of trials with essentially no false
+positives.
+
+- :mod:`repro.diagnosis.cluster` — synthetic per-server metric streams
+  with fault injection (cpu-hog, slow-disk, lossy-net),
+- :mod:`repro.diagnosis.detector` — robust peer-deviation detector and
+  its evaluation harness (true/false positive accounting).
+"""
+
+from repro.diagnosis.cluster import FAULT_KINDS, MetricTraces, synth_cluster_metrics
+from repro.diagnosis.detector import DetectionResult, PeerComparator, evaluate_detector
+
+__all__ = [
+    "DetectionResult",
+    "FAULT_KINDS",
+    "MetricTraces",
+    "PeerComparator",
+    "evaluate_detector",
+    "synth_cluster_metrics",
+]

@@ -1,0 +1,59 @@
+"""Failure data synthesis, analysis, and extreme-scale projection.
+
+Reproduces the PDSI failure-characterization thread (§3.3):
+
+- :mod:`repro.failure.traces` — synthetic stand-ins for the LANL failure
+  data release: cluster interrupt logs and disk-drive replacement
+  populations with Weibull (increasing-hazard) lifetimes,
+- :mod:`repro.failure.analysis` — the FAST'07 analysis: annual replacement
+  rates by drive age (no infant-mortality bathtub; rates grow with age;
+  enterprise ≈ desktop; observed ARR >> datasheet AFR),
+- :mod:`repro.failure.checkpoint` — checkpoint-restart cost model (Daly's
+  optimal interval), an exact DES validation, and process-pairs,
+- :mod:`repro.failure.projection` — Figure 4's interrupts∝chips fit and
+  MTTI projection, and Figure 5's effective-utilization projection.
+"""
+
+from repro.failure.traces import (
+    DrivePopulation,
+    InterruptTrace,
+    synth_drive_population,
+    synth_interrupt_trace,
+)
+from repro.failure.analysis import (
+    annual_replacement_rates,
+    bathtub_deviation,
+    datasheet_afr,
+)
+from repro.failure.checkpoint import (
+    CheckpointModel,
+    daly_optimal_interval,
+    expected_utilization,
+    simulate_checkpoint_run,
+)
+from repro.failure.projection import (
+    MachineTrend,
+    fit_interrupts_vs_chips,
+    project_mtti,
+    project_utilization,
+    utilization_crossing_year,
+)
+
+__all__ = [
+    "CheckpointModel",
+    "DrivePopulation",
+    "InterruptTrace",
+    "MachineTrend",
+    "annual_replacement_rates",
+    "bathtub_deviation",
+    "daly_optimal_interval",
+    "datasheet_afr",
+    "expected_utilization",
+    "fit_interrupts_vs_chips",
+    "project_mtti",
+    "project_utilization",
+    "simulate_checkpoint_run",
+    "synth_drive_population",
+    "synth_interrupt_trace",
+    "utilization_crossing_year",
+]

@@ -1,0 +1,128 @@
+"""Extreme-scale projections: Figures 4 and 5.
+
+Figure 4: the LANL data shows interrupts linear in processor-chip count
+(~0.1/chip/year).  Projecting along top500 trends — aggregate speed
+doubling yearly, per-chip speed doubling only every 18/24/30 months — the
+chip count grows without bound and MTTI falls toward minutes by the
+exascale era.
+
+Figure 5: feeding that MTTI into the checkpoint model with a *balanced*
+storage system (bandwidth scaling with speed, so dump time stays constant)
+drives effective application utilization under 50% before ~2014-2016.
+Faster-than-balanced storage or process pairs change the picture — both
+variants are provided.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.failure.checkpoint import CheckpointModel
+from repro.failure.traces import InterruptTrace
+
+
+def fit_interrupts_vs_chips(traces: list[InterruptTrace]) -> dict:
+    """Least-squares fit of interrupts/year against chip count (Fig 4 left).
+
+    Returns slope (interrupts/chip/year), intercept, and R^2; the report's
+    'best simple model' is slope ≈ 0.1 with intercept ≈ 0.
+    """
+    if len(traces) < 2:
+        raise ValueError("need at least two systems to fit")
+    x = np.array([t.n_chips for t in traces], dtype=float)
+    y = np.array([t.interrupts_per_year for t in traces])
+    slope, intercept = np.polyfit(x, y, 1)
+    yhat = slope * x + intercept
+    ss_res = float(((y - yhat) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    return {
+        "slope_per_chip_year": float(slope),
+        "intercept_per_year": float(intercept),
+        "r2": 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0,
+    }
+
+
+@dataclass(frozen=True)
+class MachineTrend:
+    """Top500-style growth assumptions (report's stated parameters)."""
+
+    base_year: int = 2008
+    base_speed_pflops: float = 1.0
+    speed_doubling_months: float = 12.0      # aggregate speed: 2x per year
+    chip_doubling_months: float = 18.0       # per-chip speed: Moore's-law-ish
+    base_chip_gflops: float = 50.0           # ~20k chips at 1 PF in 2008
+    interrupts_per_chip_year: float = 0.1
+
+    def speed_pflops(self, year: float) -> float:
+        dt = (year - self.base_year) * 12.0
+        return self.base_speed_pflops * 2.0 ** (dt / self.speed_doubling_months)
+
+    def chip_gflops(self, year: float) -> float:
+        dt = (year - self.base_year) * 12.0
+        return self.base_chip_gflops * 2.0 ** (dt / self.chip_doubling_months)
+
+    def n_chips(self, year: float) -> float:
+        return self.speed_pflops(year) * 1e6 / self.chip_gflops(year)
+
+    def mtti_s(self, year: float) -> float:
+        per_year = self.interrupts_per_chip_year * self.n_chips(year)
+        return 365.25 * 86400.0 / per_year
+
+
+def project_mtti(trend: MachineTrend, years: np.ndarray) -> np.ndarray:
+    """MTTI (seconds) at each year (Fig 4 right's falling curve)."""
+    return np.array([trend.mtti_s(float(y)) for y in years])
+
+
+def project_utilization(
+    trend: MachineTrend,
+    years: np.ndarray,
+    base_delta_s: float = 900.0,
+    storage_scaling: str = "balanced",
+    restart_s: float = 0.0,
+) -> np.ndarray:
+    """Best-achievable utilization per year under a storage growth policy.
+
+    storage_scaling:
+      'balanced'   — storage bandwidth grows with machine speed, so the
+                     dump time of a (likewise growing) memory stays at
+                     ``base_delta_s``  (the report's Fig 5 premise);
+      'disk-only'  — bandwidth grows only 20%/year (disk technology) while
+                     memory tracks speed (2x/year): dump time balloons;
+      'aggressive' — bandwidth grows 130%/year (the 'unaffordable' case):
+                     dump time shrinks.
+    """
+    out = []
+    for y in years:
+        dy = float(y) - trend.base_year
+        if storage_scaling == "balanced":
+            delta = base_delta_s
+        elif storage_scaling == "disk-only":
+            delta = base_delta_s * (2.0 ** dy) / (1.2 ** dy)
+        elif storage_scaling == "aggressive":
+            delta = base_delta_s * (2.0 ** dy) / (2.3 ** dy)
+        else:
+            raise ValueError(f"unknown storage_scaling {storage_scaling!r}")
+        model = CheckpointModel(mtti_s=trend.mtti_s(float(y)), delta_s=delta, restart_s=restart_s)
+        if model.mtti_s <= model.delta_s:
+            out.append(0.0)  # cannot even commit one checkpoint reliably
+        else:
+            out.append(model.best_utilization())
+    return np.array(out)
+
+
+def utilization_crossing_year(
+    trend: MachineTrend,
+    threshold: float = 0.5,
+    base_delta_s: float = 900.0,
+    storage_scaling: str = "balanced",
+    year_range: tuple[int, int] = (2008, 2026),
+) -> float | None:
+    """First year utilization falls below ``threshold`` (Fig 5 headline)."""
+    years = np.arange(year_range[0], year_range[1] + 1, 0.25)
+    util = project_utilization(trend, years, base_delta_s, storage_scaling)
+    below = np.nonzero(util < threshold)[0]
+    return float(years[below[0]]) if len(below) else None

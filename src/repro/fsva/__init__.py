@@ -1,0 +1,16 @@
+"""File System Virtual Appliances (report §4.2.1 / Fig 6).
+
+FSVAs move the parallel-file-system client out of the application's
+kernel into a dedicated VM with a frozen OS, killing the porting churn;
+the application OS keeps only a simple forwarding client.  The price is a
+VM transition on every forwarded call — acceptable only with shared-memory
+rings that batch and avoid hypervisor exits on the data path.
+
+:func:`relative_overhead` evaluates a metadata- or data-weighted workload
+through three configurations: native in-kernel client, naive FSVA
+(hypercall per operation), and FSVA with shared-memory transport.
+"""
+
+from repro.fsva.model import FsvaConfig, WorkloadMix, relative_overhead, run_workload
+
+__all__ = ["FsvaConfig", "WorkloadMix", "relative_overhead", "run_workload"]

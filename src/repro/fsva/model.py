@@ -1,0 +1,62 @@
+"""Cost model for file-system clients in virtual appliances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FsvaConfig:
+    """Per-operation costs (seconds)."""
+
+    native_metadata_op_s: float = 40e-6     # in-kernel client, cached path
+    native_data_op_s: float = 120e-6        # per 64K data op (cache/page costs)
+    vm_transition_s: float = 12e-6          # world switch, naive hypercall path
+    transitions_per_op_naive: int = 4       # req in/out of each VM
+    sharedmem_poll_s: float = 1.5e-6        # shared ring hand-off
+    transitions_per_op_shared: float = 0.25 # amortized by batching
+    data_copy_penalty_s: float = 8e-6       # extra copy without page flipping
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Operation counts for one benchmark run."""
+
+    name: str
+    metadata_ops: int
+    data_ops: int
+
+
+#: Benchmarks in the FSVA paper's spirit.
+UNTAR_LIKE = WorkloadMix("untar-like", metadata_ops=50_000, data_ops=10_000)
+STREAM_LIKE = WorkloadMix("stream-like", metadata_ops=500, data_ops=60_000)
+
+
+def run_workload(mix: WorkloadMix, mode: str, cfg: FsvaConfig = FsvaConfig()) -> float:
+    """Total seconds to run the workload under a client configuration.
+
+    mode: 'native' | 'fsva-naive' | 'fsva-shared'
+    """
+    base = (
+        mix.metadata_ops * cfg.native_metadata_op_s
+        + mix.data_ops * cfg.native_data_op_s
+    )
+    ops = mix.metadata_ops + mix.data_ops
+    if mode == "native":
+        return base
+    if mode == "fsva-naive":
+        extra = ops * cfg.transitions_per_op_naive * cfg.vm_transition_s
+        extra += mix.data_ops * cfg.data_copy_penalty_s
+        return base + extra
+    if mode == "fsva-shared":
+        extra = ops * (
+            cfg.transitions_per_op_shared * cfg.vm_transition_s + cfg.sharedmem_poll_s
+        )
+        return base + extra
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def relative_overhead(mix: WorkloadMix, mode: str, cfg: FsvaConfig = FsvaConfig()) -> float:
+    """Slowdown of a mode relative to the native client (0.0 = none)."""
+    native = run_workload(mix, "native", cfg)
+    return run_workload(mix, mode, cfg) / native - 1.0

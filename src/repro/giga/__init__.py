@@ -1,0 +1,28 @@
+"""GIGA+ scalable directories (report §4.2.2, Figure 7).
+
+Concurrent file creation in one directory does not scale on production
+parallel file systems: one metadata server does all the work, or cache
+consistency serializes updates.  GIGA+ hash-partitions a directory across
+servers, *splits partitions independently without global locking*, and
+lets client partition maps go stale — a client using an outdated map is
+corrected lazily by the server it mis-addressed, with a bounded number of
+extra hops.
+
+- :mod:`repro.giga.mapping` — the pure split-history bitmap and hash
+  mapping (the heart of the design),
+- :mod:`repro.giga.cluster` — a DES model of servers + clients running a
+  Metarates-style create storm, measuring throughput scaling and the cost
+  of stale-client correction.
+"""
+
+from repro.giga.mapping import GigaBitmap, MAX_RADIX, hash_name
+from repro.giga.cluster import GigaCluster, GigaClusterResult, run_metarates
+
+__all__ = [
+    "GigaBitmap",
+    "GigaCluster",
+    "GigaClusterResult",
+    "MAX_RADIX",
+    "hash_name",
+    "run_metarates",
+]

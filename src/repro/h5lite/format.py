@@ -1,0 +1,271 @@
+"""A miniature hierarchical array file format ("H5-lite").
+
+Layout::
+
+    [superblock: magic(8) version(u32) toc_offset(u64) toc_bytes(u64)]
+    [dataset 0 raw bytes][dataset 1 raw bytes]...
+    [table of contents: JSON]
+
+The table of contents maps dataset names to (dtype, shape, offset,
+nbytes, attrs).  Data is written append-only; the TOC and superblock are
+finalized at close — the same write-once discipline HDF5 uses for its
+heap, which is what makes the format friendly to PLFS-style logging
+back ends.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from typing import Any, BinaryIO, Optional
+
+import numpy as np
+
+MAGIC = b"H5LITE\r\n"
+_SUPER = struct.Struct("<8sIQQ")
+SUPERBLOCK_SIZE = _SUPER.size
+
+
+class H5LiteError(IOError):
+    """Malformed or misused H5-lite file."""
+
+
+class PlfsFileAdapter:
+    """File-like adapter over a PLFS write or read handle.
+
+    Gives :class:`H5LiteWriter`/:class:`H5LiteReader` a seek/read/write
+    interface; writes map to ``handle.write(data, offset)`` so the format
+    can be hosted directly inside a PLFS container.
+    """
+
+    def __init__(self, write_handle=None, read_handle=None) -> None:
+        if (write_handle is None) == (read_handle is None):
+            raise ValueError("pass exactly one of write_handle/read_handle")
+        self._wh = write_handle
+        self._rh = read_handle
+        self._pos = 0
+
+    def seek(self, pos: int, whence: int = io.SEEK_SET) -> int:
+        if whence == io.SEEK_SET:
+            self._pos = pos
+        elif whence == io.SEEK_CUR:
+            self._pos += pos
+        elif whence == io.SEEK_END:
+            size = self._rh.size if self._rh else self._wh._max_eof
+            self._pos = size + pos
+        else:
+            raise ValueError("bad whence")
+        return self._pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def write(self, data: bytes) -> int:
+        if self._wh is None:
+            raise H5LiteError("adapter opened read-only")
+        n = self._wh.write(data, self._pos)
+        self._pos += n
+        return n
+
+    def read(self, n: int = -1) -> bytes:
+        if self._rh is None:
+            raise H5LiteError("adapter opened write-only")
+        if n < 0:
+            n = self._rh.size - self._pos
+        data = self._rh.read(self._pos, n)
+        self._pos += len(data)
+        return data
+
+    def flush(self) -> None:
+        if self._wh is not None:
+            self._wh.sync()
+
+
+class H5LiteWriter:
+    """Create an H5-lite file; append datasets; finalize on close."""
+
+    def __init__(self, target: str | BinaryIO | PlfsFileAdapter) -> None:
+        if isinstance(target, str):
+            self._f: Any = open(target, "wb")
+            self._owns = True
+        else:
+            self._f = target
+            self._owns = False
+        self._toc: dict[str, dict] = {}
+        self._closed = False
+        # reserve the superblock; patched at close
+        self._f.seek(0)
+        self._f.write(b"\0" * SUPERBLOCK_SIZE)
+        self._cursor = SUPERBLOCK_SIZE
+
+    def create_dataset(
+        self,
+        name: str,
+        array: np.ndarray,
+        attrs: Optional[dict[str, Any]] = None,
+        align: int = 1,
+        chunk_bytes: Optional[int] = None,
+    ) -> None:
+        """Append an array as a named dataset (name must be unique).
+
+        ``align`` pads the data start to a multiple (stripe alignment).
+        ``chunk_bytes`` splits the raw bytes into fixed-size chunks, each
+        individually aligned — the HDF5-style layout that enables partial
+        reads (:meth:`H5LiteReader.read_bytes_range`) without touching the
+        whole dataset."""
+        self._check_open()
+        if name in self._toc:
+            raise H5LiteError(f"dataset {name!r} already exists")
+        if align < 1:
+            raise ValueError("align must be >= 1")
+        if chunk_bytes is not None and chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be >= 1")
+        array = np.ascontiguousarray(array)
+        raw = array.tobytes()
+        entry: dict[str, Any] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "nbytes": len(raw),
+            "attrs": attrs or {},
+        }
+        if chunk_bytes is None:
+            self._pad_to(align)
+            entry["offset"] = self._cursor
+            self._f.seek(self._cursor)
+            self._f.write(raw)
+            self._cursor += len(raw)
+        else:
+            offsets = []
+            for pos in range(0, max(len(raw), 1), chunk_bytes):
+                piece = raw[pos:pos + chunk_bytes]
+                self._pad_to(align)
+                offsets.append(self._cursor)
+                self._f.seek(self._cursor)
+                self._f.write(piece)
+                self._cursor += len(piece)
+            entry["chunk_bytes"] = chunk_bytes
+            entry["chunks"] = offsets
+        self._toc[name] = entry
+
+    def _pad_to(self, align: int) -> None:
+        if align > 1 and self._cursor % align:
+            pad = align - self._cursor % align
+            self._f.seek(self._cursor)
+            self._f.write(b"\0" * pad)
+            self._cursor += pad
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        toc_bytes = json.dumps(self._toc, sort_keys=True).encode()
+        self._f.seek(self._cursor)
+        self._f.write(toc_bytes)
+        self._f.seek(0)
+        self._f.write(_SUPER.pack(MAGIC, 1, self._cursor, len(toc_bytes)))
+        self._f.flush()
+        if self._owns:
+            self._f.close()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise H5LiteError("writer is closed")
+
+    def __enter__(self) -> "H5LiteWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class H5LiteReader:
+    """Open an H5-lite file and read datasets by name."""
+
+    def __init__(self, source: str | BinaryIO | PlfsFileAdapter) -> None:
+        if isinstance(source, str):
+            self._f: Any = open(source, "rb")
+            self._owns = True
+        else:
+            self._f = source
+            self._owns = False
+        self._f.seek(0)
+        header = self._f.read(SUPERBLOCK_SIZE)
+        if len(header) != SUPERBLOCK_SIZE:
+            raise H5LiteError("file too short for a superblock")
+        magic, version, toc_offset, toc_bytes = _SUPER.unpack(header)
+        if magic != MAGIC:
+            raise H5LiteError("bad magic: not an H5-lite file")
+        if version != 1:
+            raise H5LiteError(f"unsupported version {version}")
+        self._f.seek(toc_offset)
+        try:
+            self._toc = json.loads(self._f.read(toc_bytes).decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise H5LiteError("corrupt table of contents") from exc
+
+    def datasets(self) -> list[str]:
+        return sorted(self._toc)
+
+    def attrs(self, name: str) -> dict:
+        return dict(self._entry(name)["attrs"])
+
+    def shape(self, name: str) -> tuple[int, ...]:
+        return tuple(self._entry(name)["shape"])
+
+    def is_chunked(self, name: str) -> bool:
+        return "chunks" in self._entry(name)
+
+    def read_bytes_range(self, name: str, start: int, stop: int) -> bytes:
+        """Raw byte range of a dataset; chunked layouts touch only the
+        chunks that intersect the range."""
+        meta = self._entry(name)
+        nbytes = meta["nbytes"]
+        start = max(0, start)
+        stop = min(stop, nbytes)
+        if stop <= start:
+            return b""
+        if "chunks" not in meta:
+            self._f.seek(meta["offset"] + start)
+            raw = self._f.read(stop - start)
+            if len(raw) != stop - start:
+                raise H5LiteError(f"dataset {name!r} truncated")
+            return raw
+        cb = meta["chunk_bytes"]
+        out = bytearray()
+        first = start // cb
+        last = (stop - 1) // cb
+        for ci in range(first, last + 1):
+            base = ci * cb
+            clen = min(cb, nbytes - base)
+            self._f.seek(meta["chunks"][ci])
+            piece = self._f.read(clen)
+            if len(piece) != clen:
+                raise H5LiteError(f"dataset {name!r} truncated (chunk {ci})")
+            lo = max(start - base, 0)
+            hi = min(stop - base, clen)
+            out += piece[lo:hi]
+        return bytes(out)
+
+    def read(self, name: str) -> np.ndarray:
+        meta = self._entry(name)
+        raw = self.read_bytes_range(name, 0, meta["nbytes"])
+        if len(raw) != meta["nbytes"]:
+            raise H5LiteError(f"dataset {name!r} truncated")
+        return np.frombuffer(raw, dtype=np.dtype(meta["dtype"])).reshape(meta["shape"]).copy()
+
+    def _entry(self, name: str) -> dict:
+        try:
+            return self._toc[name]
+        except KeyError:
+            raise H5LiteError(f"no dataset {name!r}") from None
+
+    def close(self) -> None:
+        if self._owns:
+            self._f.close()
+
+    def __enter__(self) -> "H5LiteReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,152 @@
+"""Parallel H5-lite write performance with the Fig 13 optimization stack.
+
+The workload: ``n_ranks`` ranks collectively write ``n_datasets`` arrays,
+each rank contributing one slab per dataset.  Costs the optimizations
+remove, in the order NERSC applied them:
+
+* **baseline** — every rank writes its (unaligned, modest-sized) slab
+  independently *and* updates the shared object headers near the start of
+  the file: a lock hot spot plus a storm of small metadata writes;
+* **collective** — two-phase collective buffering: aggregators gather the
+  slabs and write large contiguous domains;
+* **align** — dataset starts and aggregator domains snap to stripe-unit
+  boundaries, removing read-modify-writes at the seams;
+* **meta** — metadata updates aggregated at rank 0 and written once per
+  dataset instead of once per rank per dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collective.twophase import aligned_domains, even_domains
+from repro.pfs.params import PFSParams
+from repro.pfs.system import SimPFS
+from repro.sim import Simulator, Timeout
+
+OPT_STACK = ("baseline", "collective", "align", "meta")
+
+HEADER_BYTES = 544  # an odd, cache-hostile object-header size
+
+
+@dataclass(frozen=True)
+class H5PerfConfig:
+    """One application's collective write phase."""
+
+    name: str = "gcrm-like"
+    n_ranks: int = 32
+    n_datasets: int = 4
+    slab_bytes: int = 93_000       # per rank per dataset; unaligned
+    n_aggregators: int = 8
+    shuffle_Bps: float = 1e9 / 8
+
+    @property
+    def dataset_bytes(self) -> int:
+        return self.n_ranks * self.slab_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_datasets * self.dataset_bytes
+
+
+CHOMBO_LIKE = H5PerfConfig(name="chombo-like", n_ranks=32, n_datasets=6, slab_bytes=41_771)
+GCRM_LIKE = H5PerfConfig(name="gcrm-like", n_ranks=32, n_datasets=4, slab_bytes=93_000)
+
+
+def run_h5_write(
+    config: H5PerfConfig,
+    params: PFSParams,
+    opts: frozenset[str] | set[str] = frozenset(),
+    path: str = "/h5",
+) -> dict:
+    """Simulate the write phase with a set of optimizations enabled."""
+    opts = frozenset(opts)
+    unknown = opts - set(OPT_STACK)
+    if unknown:
+        raise ValueError(f"unknown optimizations: {sorted(unknown)}")
+    sim = Simulator()
+    pfs = SimPFS(sim, params)
+    sim.spawn(pfs.op_create(0, path))
+    sim.run()
+    start = sim.now
+    unit = params.stripe_unit
+
+    # dataset base offsets: aligned or deliberately unaligned
+    bases = []
+    cursor = 4096  # superblock region
+    for k in range(config.n_datasets):
+        if "align" in opts:
+            cursor = (cursor + unit - 1) // unit * unit
+        bases.append(cursor)
+        cursor += config.dataset_bytes
+
+    def metadata_writer(rank: int, dataset: int):
+        # object-header update near the file start (shared lock block)
+        yield from pfs.op_write(rank, path, dataset * HEADER_BYTES, HEADER_BYTES)
+
+    def independent_rank(rank: int):
+        for k in range(config.n_datasets):
+            off = bases[k] + rank * config.slab_bytes
+            yield from pfs.op_write(rank, path, off, config.slab_bytes)
+            if "meta" not in opts:
+                yield from metadata_writer(rank, k)
+
+    def aggregator(agg_id: int, k: int, lo: int, hi: int):
+        nbytes = hi - lo
+        yield Timeout(nbytes / config.shuffle_Bps)
+        buf = params.write_buffer_bytes
+        pos = lo
+        while pos < hi:
+            take = min(buf, hi - pos)
+            yield from pfs.op_write(100 + agg_id, path, pos, take)
+            pos += take
+
+    if "collective" in opts:
+        for k in range(config.n_datasets):
+            size = config.dataset_bytes
+            if "align" in opts:
+                doms = aligned_domains(size, config.n_aggregators, unit)
+            else:
+                doms = even_domains(size, config.n_aggregators)
+            for i, (lo, hi) in enumerate(doms):
+                sim.spawn(aggregator(i, k, bases[k] + lo, bases[k] + hi))
+        if "meta" in opts:
+            def meta_root():
+                for k in range(config.n_datasets):
+                    yield from metadata_writer(0, k)
+            sim.spawn(meta_root())
+        else:
+            for r in range(config.n_ranks):
+                def meta_all(rank=r):
+                    for k in range(config.n_datasets):
+                        yield from metadata_writer(rank, k)
+                sim.spawn(meta_all())
+    else:
+        for r in range(config.n_ranks):
+            sim.spawn(independent_rank(r))
+        if "meta" in opts:
+            def meta_root():
+                for k in range(config.n_datasets):
+                    yield from metadata_writer(0, k)
+            sim.spawn(meta_root())
+    sim.run()
+    makespan = sim.now - start
+    return {
+        "config": config.name,
+        "opts": sorted(opts),
+        "makespan_s": makespan,
+        "bandwidth_MBps": config.total_bytes / makespan / 1e6,
+        "lock_migrations": pfs.total_lock_migrations(),
+    }
+
+
+def cumulative_optimizations(config: H5PerfConfig, params: PFSParams) -> list[dict]:
+    """Apply the stack cumulatively, baseline first (Fig 13's bars)."""
+    out = []
+    enabled: set[str] = set()
+    for opt in OPT_STACK:
+        if opt != "baseline":
+            enabled.add(opt)
+        out.append(run_h5_write(config, params, frozenset(enabled)))
+        out[-1]["step"] = opt
+    return out

@@ -1,0 +1,89 @@
+"""Conjunctive metadata queries and a QUASAR-flavoured string syntax.
+
+The LLNL/UCSC QUASAR work integrated queries into file paths; here a
+query string is a ``;``-joined list of clauses::
+
+    owner=12; ext=.h5; size>1000000; mtime<30; dir=/proj3
+
+Supported attributes: ``owner`` (int, =), ``ext`` (str, =), ``project``
+(int, =), ``dir`` (path prefix, =), ``size``/``mtime`` (numeric, = < >).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.metasearch.namespace import FileMeta
+
+
+@dataclass(frozen=True)
+class Query:
+    """Conjunction of attribute constraints (None = unconstrained)."""
+
+    owner: Optional[int] = None
+    ext: Optional[str] = None
+    project: Optional[int] = None
+    dir_prefix: Optional[str] = None
+    size_min: Optional[int] = None
+    size_max: Optional[int] = None
+    mtime_min: Optional[float] = None
+    mtime_max: Optional[float] = None
+
+    def matches(self, f: FileMeta) -> bool:
+        if self.owner is not None and f.owner != self.owner:
+            return False
+        if self.ext is not None and f.ext != self.ext:
+            return False
+        if self.project is not None and f.project != self.project:
+            return False
+        if self.dir_prefix is not None and not f.directory.startswith(self.dir_prefix):
+            return False
+        if self.size_min is not None and f.size < self.size_min:
+            return False
+        if self.size_max is not None and f.size > self.size_max:
+            return False
+        if self.mtime_min is not None and f.mtime < self.mtime_min:
+            return False
+        if self.mtime_max is not None and f.mtime > self.mtime_max:
+            return False
+        return True
+
+
+class QueryParseError(ValueError):
+    """Malformed query string."""
+
+
+def parse_query(text: str) -> Query:
+    """Parse the QUASAR-ish clause syntax into a :class:`Query`."""
+    kwargs: dict = {}
+    for raw in text.split(";"):
+        clause = raw.strip()
+        if not clause:
+            continue
+        for op in ("<=", ">=", "=", "<", ">"):
+            if op in clause:
+                attr, value = clause.split(op, 1)
+                attr, value = attr.strip(), value.strip()
+                break
+        else:
+            raise QueryParseError(f"no operator in clause {clause!r}")
+        if attr == "owner" and op == "=":
+            kwargs["owner"] = int(value)
+        elif attr == "ext" and op == "=":
+            kwargs["ext"] = value
+        elif attr == "project" and op == "=":
+            kwargs["project"] = int(value)
+        elif attr == "dir" and op == "=":
+            kwargs["dir_prefix"] = value
+        elif attr == "size" and op in ("<", "<="):
+            kwargs["size_max"] = int(value)
+        elif attr == "size" and op in (">", ">="):
+            kwargs["size_min"] = int(value)
+        elif attr == "mtime" and op in ("<", "<="):
+            kwargs["mtime_max"] = float(value)
+        elif attr == "mtime" and op in (">", ">="):
+            kwargs["mtime_min"] = float(value)
+        else:
+            raise QueryParseError(f"unsupported clause {clause!r}")
+    return Query(**kwargs)

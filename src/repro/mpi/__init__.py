@@ -1,0 +1,23 @@
+"""In-process, deterministic message-passing runtime ("mini-MPI").
+
+The PDSI experiments are driven by SPMD parallel applications.  mpi4py is
+not available offline, so this package provides a single-process stand-in:
+each rank is a Python *generator* that yields communication operations
+(:meth:`Comm.barrier`, :meth:`Comm.allgather`, ...) and is resumed with the
+operation's result once all participants arrive.  Scheduling is
+deterministic (rank order), so every run is exactly reproducible — which is
+what a reproduction harness wants from its substrate.
+
+Example
+-------
+>>> from repro.mpi import run_spmd
+>>> def app(comm):
+...     total = yield comm.allreduce(comm.rank)
+...     return total
+>>> run_spmd(4, app)
+[6, 6, 6, 6]
+"""
+
+from repro.mpi.runtime import Comm, MPIError, run_spmd
+
+__all__ = ["Comm", "MPIError", "run_spmd"]

@@ -1,0 +1,19 @@
+"""Cluster network models: the TCP incast pathology and its fix (Fig 9)."""
+
+from repro.net.incast import (
+    IncastConfig,
+    IncastResult,
+    ONE_GE,
+    TEN_GE,
+    simulate_incast,
+    sweep_senders,
+)
+
+__all__ = [
+    "IncastConfig",
+    "IncastResult",
+    "ONE_GE",
+    "TEN_GE",
+    "simulate_incast",
+    "sweep_senders",
+]

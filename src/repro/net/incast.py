@@ -1,0 +1,157 @@
+"""TCP incast: synchronized reads collapse goodput; low min-RTO fixes it.
+
+Mechanism (Phanishayee et al., FAST'08; Vasudevan et al., SIGCOMM'09, both
+PDSI work): a client requests a striped block from N servers at once; all
+N responses converge on one switch output port whose buffer overflows.  A
+server that loses its *entire* window has nothing in flight to trigger
+fast retransmit, so it sits in a retransmission timeout — historically a
+200 ms minimum, thousands of RTTs — while the barrier at the client keeps
+the link idle.  Goodput falls by up to two orders of magnitude.  Lowering
+the minimum RTO to ~1 ms (microsecond-granularity timers) restores
+goodput; at thousands of servers the retransmissions themselves
+resynchronize, so the RTO must also be *randomized* (Fig 9 right).
+
+The model is round-based (one round = one RTT): each active flow injects
+its window; injected packets beyond the port's service+buffer capacity are
+dropped uniformly at random; full-window loss → timeout with the
+configured minimum RTO (optionally jittered); partial loss → window halves
+(fast retransmit).  Coarse, but it contains exactly the three mechanisms
+the published fix manipulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IncastConfig:
+    """One synchronized-read experiment."""
+
+    name: str = "1GE"
+    link_Bps: float = 125e6           # 1 Gb/s
+    rtt_s: float = 100e-6
+    pkt_bytes: int = 1500
+    buffer_pkts: int = 64             # switch output-port buffer
+    sru_bytes: int = 32 * 1024        # per-server request unit
+    min_rto_s: float = 0.2            # the historical 200 ms minimum
+    rto_jitter: bool = False          # randomize the timeout
+    init_cwnd: int = 2
+    max_cwnd: int = 64
+
+    @property
+    def pkt_time_s(self) -> float:
+        return self.pkt_bytes / self.link_Bps
+
+    @property
+    def pkts_per_rtt(self) -> int:
+        return max(1, int(self.rtt_s / self.pkt_time_s))
+
+
+#: The report's two testbeds.
+ONE_GE = IncastConfig()
+TEN_GE = IncastConfig(
+    name="10GE",
+    link_Bps=1250e6,
+    rtt_s=40e-6,
+    buffer_pkts=256,
+    sru_bytes=64 * 1024,
+)
+
+
+@dataclass
+class IncastResult:
+    n_servers: int
+    goodput_Bps: float
+    timeouts: int
+    block_time_s: float
+    repeat_timeouts: int = 0  # timeouts of flows that already timed out
+                              # within the same block: retransmission-storm
+                              # collisions, the thing jitter removes
+
+    @property
+    def goodput_MBps(self) -> float:
+        return self.goodput_Bps / 1e6
+
+    def efficiency(self, cfg: IncastConfig) -> float:
+        return self.goodput_Bps / cfg.link_Bps
+
+
+def simulate_incast(
+    cfg: IncastConfig,
+    n_servers: int,
+    rng: np.random.Generator,
+    n_blocks: int = 20,
+) -> IncastResult:
+    """Fetch ``n_blocks`` striped blocks; returns aggregate goodput."""
+    if n_servers < 1:
+        raise ValueError("need at least one server")
+    sru_pkts = max(1, cfg.sru_bytes // cfg.pkt_bytes)
+    cap = cfg.buffer_pkts + cfg.pkts_per_rtt  # deliverable per round
+    total_bytes = 0
+    t = 0.0
+    timeouts = 0
+    repeat_timeouts = 0
+    for _ in range(n_blocks):
+        remaining = np.full(n_servers, sru_pkts, dtype=np.int64)
+        cwnd = np.full(n_servers, cfg.init_cwnd, dtype=np.int64)
+        wake = np.zeros(n_servers)  # timeout expiry per server
+        timed_out_before = np.zeros(n_servers, dtype=bool)
+        while remaining.any():
+            active = (remaining > 0) & (wake <= t)
+            if not active.any():
+                t = wake[remaining > 0].min()
+                continue
+            send = np.where(active, np.minimum(cwnd, remaining), 0)
+            injected = int(send.sum())
+            if injected <= cap:
+                remaining -= send
+                cwnd[active] = np.minimum(cwnd[active] + 1, cfg.max_cwnd)
+                t += max(cfg.rtt_s, injected * cfg.pkt_time_s)
+                continue
+            # overflow: drop (injected - cap) packets uniformly at random
+            drops = injected - cap
+            flat = np.repeat(np.arange(n_servers), send)
+            dropped_idx = rng.choice(injected, size=drops, replace=False)
+            lost = np.bincount(flat[dropped_idx], minlength=n_servers)
+            delivered = send - lost
+            remaining -= delivered
+            full_loss = active & (send > 0) & (delivered == 0) & (remaining > 0)
+            partial = active & (delivered > 0)
+            cwnd[partial] = np.maximum(cwnd[partial] // 2, 1)
+            n_to = int(full_loss.sum())
+            if n_to:
+                timeouts += n_to
+                repeat_timeouts += int((full_loss & timed_out_before).sum())
+                timed_out_before |= full_loss
+                base = max(cfg.min_rto_s, 2.0 * cfg.rtt_s)
+                if cfg.rto_jitter:
+                    rto = base * (0.5 + rng.random(n_to))
+                else:
+                    rto = np.full(n_to, base)
+                wake[full_loss] = t + rto
+                cwnd[full_loss] = cfg.init_cwnd
+            t += max(cfg.rtt_s, cap * cfg.pkt_time_s)
+        total_bytes += n_servers * sru_pkts * cfg.pkt_bytes
+    return IncastResult(
+        n_servers=n_servers,
+        goodput_Bps=total_bytes / t if t > 0 else 0.0,
+        timeouts=timeouts,
+        block_time_s=t / n_blocks,
+        repeat_timeouts=repeat_timeouts,
+    )
+
+
+def sweep_senders(
+    cfg: IncastConfig,
+    sender_counts: list[int],
+    seed: int = 42,
+    n_blocks: int = 20,
+) -> list[IncastResult]:
+    """Goodput vs sender count — one curve of Fig 9."""
+    return [
+        simulate_incast(cfg, n, np.random.default_rng(seed + n), n_blocks=n_blocks)
+        for n in sender_counts
+    ]

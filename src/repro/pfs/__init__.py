@@ -1,0 +1,41 @@
+"""Simulated striped parallel file system (PanFS/Lustre/GPFS-like).
+
+This is the substrate under every PDSI performance experiment: ``N``
+storage servers, each with one positional disk and a NIC; files striped
+round-robin in fixed stripe units; a block-granular distributed lock
+manager providing POSIX write coherence; and a metadata server with a
+finite operation rate.
+
+The three mechanisms that make concurrently written shared files slow on
+real parallel file systems — and that PLFS routes around — are modeled
+directly:
+
+1. small interleaved writes land at random offsets in each server's
+   backing store (seek-bound disk service),
+2. unaligned writes straddle lock blocks owned by sibling ranks (lock
+   ping-pong plus read-modify-write), and
+3. every rank opening/creating files hammers one metadata server.
+
+Three parameter *personalities* approximate the deployed file systems the
+report names (PanFS, Lustre, GPFS); they differ in stripe unit, lock
+granularity, and RPC costs, not in mechanism.
+"""
+
+from repro.pfs.params import GPFS_LIKE, LUSTRE_LIKE, PANFS_LIKE, PFSParams
+from repro.pfs.layout import StripeLayout, Extent
+from repro.pfs.locks import BlockLockManager
+from repro.pfs.system import FileHandle, SimPFS
+from repro.pfs.security import SecurityPolicy
+
+__all__ = [
+    "BlockLockManager",
+    "Extent",
+    "FileHandle",
+    "GPFS_LIKE",
+    "LUSTRE_LIKE",
+    "PANFS_LIKE",
+    "PFSParams",
+    "SecurityPolicy",
+    "SimPFS",
+    "StripeLayout",
+]

@@ -1,0 +1,71 @@
+"""Parameter personalities for the simulated parallel file system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.devices.disk import DiskParams, SEVEN_K2_SATA
+
+
+@dataclass(frozen=True)
+class PFSParams:
+    """Knobs for one simulated parallel file system deployment.
+
+    Attributes
+    ----------
+    n_servers: storage servers (each one disk + one NIC).
+    stripe_unit: bytes per stripe chunk before moving to the next server.
+    lock_granularity: byte-range lock block size (POSIX write coherence).
+    rpc_latency_s: per-request software+network round-trip overhead.
+    lock_latency_s: cost of migrating a lock block between clients.
+    server_nic_Bps / client_nic_Bps: link bandwidths.
+    mds_op_s: metadata server cost per namespace operation.
+    write_buffer_bytes: client-side coalescing buffer for sequential
+        streams (log-structured writers benefit; strided writers cannot).
+    """
+
+    name: str = "generic"
+    n_servers: int = 8
+    stripe_unit: int = 64 * 1024
+    lock_granularity: int = 64 * 1024
+    rpc_latency_s: float = 300e-6
+    lock_latency_s: float = 1.5e-3
+    server_nic_Bps: float = 1e9 / 8 * 0.9      # ~112 MB/s (1GE)
+    client_nic_Bps: float = 1e9 / 8 * 0.9
+    mds_op_s: float = 0.8e-3                   # ~1250 metadata ops/s
+    n_mds: int = 1                             # independent metadata servers
+                                               # (PLFS follow-on #1: paths hash
+                                               # across them, GIGA+-style)
+    write_buffer_bytes: int = 1 << 20
+    disk: DiskParams = field(default_factory=lambda: SEVEN_K2_SATA)
+
+    def with_servers(self, n: int) -> "PFSParams":
+        return replace(self, n_servers=n)
+
+
+#: Lustre-like: 1 MB stripes, page-granular-ish locking modeled at 64 KB,
+#: relatively expensive lock migration (DLM round trips).
+LUSTRE_LIKE = PFSParams(
+    name="lustre-like",
+    stripe_unit=1 << 20,
+    lock_granularity=64 * 1024,
+    lock_latency_s=2.0e-3,
+)
+
+#: PanFS-like: object RAID with 64 KB stripe units and component objects;
+#: finer default stripe unit, cheaper locks (callback-based).
+PANFS_LIKE = PFSParams(
+    name="panfs-like",
+    stripe_unit=64 * 1024,
+    lock_granularity=64 * 1024,
+    lock_latency_s=1.0e-3,
+)
+
+#: GPFS-like: large blocks and block-granular distributed byte-range locks;
+#: false sharing at 256 KB granularity is the notorious N-1 failure mode.
+GPFS_LIKE = PFSParams(
+    name="gpfs-like",
+    stripe_unit=256 * 1024,
+    lock_granularity=256 * 1024,
+    lock_latency_s=1.8e-3,
+)

@@ -1,0 +1,45 @@
+"""Capability-based security on the I/O path (UCSC Ceph-style, §4.2.4).
+
+Scalable security for object storage authenticates each client I/O with a
+cryptographic capability minted by the metadata server and verified by the
+storage server.  The report measures "at most 6-7%" degradation on shared
+workloads with "typical overheads averaging 1-2%".
+
+Model: a per-I/O fixed cost at the client (token attach / HMAC) and at the
+server (verify), plus a mint cost at open.  Caching of verified
+capabilities makes repeat verification cheaper by ``cache_hit_ratio``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SecurityPolicy:
+    """Costs (seconds) of the capability mechanism; zeros disable it."""
+
+    enabled: bool = False
+    mint_s: float = 60e-6            # MDS mints a capability at open
+    client_attach_s: float = 4e-6    # client computes/attaches the token
+    server_verify_s: float = 12e-6   # symmetric verify at the storage server
+    cache_hit_ratio: float = 0.9     # verified-capability cache effectiveness
+
+    @property
+    def per_io_s(self) -> float:
+        """Expected extra seconds per I/O request."""
+        if not self.enabled:
+            return 0.0
+        verify = self.server_verify_s * (1.0 - self.cache_hit_ratio) + (
+            0.1 * self.server_verify_s * self.cache_hit_ratio
+        )
+        return self.client_attach_s + verify
+
+    @property
+    def per_open_s(self) -> float:
+        return self.mint_s if self.enabled else 0.0
+
+
+#: Convenience instances.
+NO_SECURITY = SecurityPolicy(enabled=False)
+CAPABILITY_SECURITY = SecurityPolicy(enabled=True)

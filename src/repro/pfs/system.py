@@ -1,0 +1,312 @@
+"""The simulated parallel file system: servers, MDS, client operations.
+
+All operations are simulation processes (generators for
+:class:`repro.sim.Simulator`).  A typical experiment spawns one process per
+application rank that performs metadata and data operations through
+:class:`SimPFS` and measures the makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.devices.disk import Disk
+from repro.pfs.layout import Extent, StripeLayout
+from repro.pfs.locks import BlockLockManager
+from repro.pfs.params import PFSParams
+from repro.pfs.security import NO_SECURITY, SecurityPolicy
+from repro.sim import Acquire, Event, Resource, Simulator, Store, Timeout, Wait
+from repro.sim.stats import Counter
+
+
+@dataclass
+class FileHandle:
+    """Namespace entry for one file.
+
+    ``shift`` rotates the file's starting server (file-id round-robin), as
+    real deployments do so that many small files spread across servers.
+    ``lock_service`` serializes lock migrations: DLM ping-pong is a serial
+    conversation per file, not a parallel one.
+    """
+
+    path: str
+    file_id: int
+    size: int = 0
+    locks: Optional[BlockLockManager] = None
+    lock_service: Optional[Resource] = None
+
+    @property
+    def shift(self) -> int:
+        return self.file_id
+
+
+@dataclass
+class _ServerRequest:
+    file_id: int
+    extents: list[Extent]
+    nbytes: int
+    write: bool
+    done: Event
+
+
+class _StorageServer:
+    """One storage server: FIFO request queue, a NIC, and a disk."""
+
+    def __init__(self, sim: Simulator, index: int, params: PFSParams) -> None:
+        self.sim = sim
+        self.index = index
+        self.params = params
+        self.disk = Disk(params.disk, sim=None, name=f"osd{index}.disk")
+        self.queue: Store = Store(sim, name=f"osd{index}.q")
+        # server-local space allocation: (file_id, chunk) -> disk offset
+        self._alloc: dict[tuple[int, int], int] = {}
+        self._alloc_next = 0
+        self.counters = Counter()
+        sim.spawn(self._serve(), name=f"osd{index}")
+
+    def _disk_offset(self, file_id: int, server_offset: int) -> int:
+        unit = self.params.stripe_unit
+        chunk = server_offset // unit
+        within = server_offset - chunk * unit
+        key = (file_id, chunk)
+        base = self._alloc.get(key)
+        if base is None:
+            base = self._alloc_next
+            self._alloc[key] = base
+            self._alloc_next += unit
+        return base + within
+
+    def _serve(self):
+        p = self.params
+        while True:
+            req: _ServerRequest = yield self.queue.get()
+            t = p.rpc_latency_s + req.nbytes / p.server_nic_Bps
+            for ext in req.extents:
+                off = self._disk_offset(req.file_id, ext.server_offset)
+                t += self.disk.access(off, ext.length, write=req.write)
+            self.counters.add("requests")
+            self.counters.add("bytes_written" if req.write else "bytes_read", req.nbytes)
+            yield Timeout(t)
+            req.done.succeed(t)
+
+
+class SimPFS:
+    """Facade for experiments: namespace + data path over N servers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: PFSParams = PFSParams(),
+        security: SecurityPolicy = NO_SECURITY,
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.security = security
+        self.layout = StripeLayout(params.n_servers, params.stripe_unit)
+        self.servers = [_StorageServer(sim, i, params) for i in range(params.n_servers)]
+        # metadata service: one or several independent servers; paths hash
+        # across them (PLFS follow-on #1 / GIGA+-style distribution)
+        self.mds_servers = [
+            Resource(sim, capacity=1, name=f"mds{i}")
+            for i in range(max(1, params.n_mds))
+        ]
+        self.mds = self.mds_servers[0]
+        self._files: dict[str, FileHandle] = {}
+        self._next_id = 0
+        self._client_nics: dict[int, Resource] = {}
+        self.counters = Counter()
+        # cost of a read-modify-write merge of one lock block (served remotely)
+        p = params
+        self._rmw_read_s = (
+            p.rpc_latency_s
+            + p.lock_granularity / p.server_nic_Bps
+            + Disk(p.disk).service_time(p.disk.capacity_bytes // 2, p.lock_granularity)
+        )
+
+    # -- helpers --------------------------------------------------------
+    def _nic(self, client: int) -> Resource:
+        nic = self._client_nics.get(client)
+        if nic is None:
+            nic = Resource(self.sim, capacity=1, name=f"client{client}.nic")
+            self._client_nics[client] = nic
+        return nic
+
+    def lookup(self, path: str) -> FileHandle:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    # -- metadata operations (simulation processes) -----------------------
+    def _mds_for(self, path: str) -> Resource:
+        if len(self.mds_servers) == 1:
+            return self.mds_servers[0]
+        h = sum(ord(ch) * 131 for ch in path)
+        return self.mds_servers[h % len(self.mds_servers)]
+
+    def _mds_op(self, n_ops: int = 1, extra_s: float = 0.0, path: str = ""):
+        mds = self._mds_for(path)
+        grant = yield Acquire(mds)
+        yield Timeout(n_ops * self.params.mds_op_s + extra_s)
+        mds.release(grant)
+        self.counters.add("mds_ops", n_ops)
+
+    def op_create(self, client: int, path: str):
+        """Create (and implicitly open) a file."""
+        yield from self._mds_op(1, extra_s=self.security.per_open_s, path=path)
+        if path not in self._files:
+            self._files[path] = FileHandle(
+                path=path,
+                file_id=self._next_id,
+                locks=BlockLockManager(self.params.lock_granularity),
+                lock_service=Resource(self.sim, capacity=1, name=f"dlm:{path}"),
+            )
+            self._next_id += 1
+        return self._files[path]
+
+    def op_open(self, client: int, path: str):
+        yield from self._mds_op(1, extra_s=self.security.per_open_s, path=path)
+        return self.lookup(path)
+
+    def op_stat(self, client: int, path: str):
+        yield from self._mds_op(1, path=path)
+        fh = self.lookup(path)
+        return {"size": fh.size, "file_id": fh.file_id}
+
+    def op_unlink(self, client: int, path: str):
+        yield from self._mds_op(1, path=path)
+        self._files.pop(path, None)
+
+    # -- POSIX HEC extensions (report §2.2) ---------------------------------
+    def op_group_open(self, clients: Sequence[int], path: str):
+        """``openg``/``openfh``: one rank resolves the file at the MDS and
+        shares a portable handle with the group — O(1) metadata load for an
+        N-rank open storm instead of N serialized MDS operations."""
+        yield from self._mds_op(1, extra_s=self.security.per_open_s, path=path)
+        # handle distribution piggybacks on the app's collective network:
+        # one broadcast latency, not an MDS visit per rank
+        yield Timeout(self.params.rpc_latency_s)
+        self.counters.add("group_opens")
+        return self.lookup(path)
+
+    def op_stat_layout(self, client: int, path: str):
+        """The accepted HEC extension: query a file's physical layout so
+        middleware can align its I/O (used by layout-aware collective
+        buffering, Hadoop-style locality scheduling, ...)."""
+        yield from self._mds_op(1, path=path)
+        fh = self.lookup(path)
+        return {
+            "stripe_unit": self.params.stripe_unit,
+            "n_servers": self.params.n_servers,
+            "start_shift": fh.shift,
+            "lock_granularity": self.params.lock_granularity,
+        }
+
+    # -- data operations ----------------------------------------------------
+    def op_write(self, client: int, path: str, offset: int, nbytes: int):
+        """Write process: locks, client NIC, fan-out to servers, wait all."""
+        fh = self.lookup(path)
+        p = self.params
+        if nbytes <= 0:
+            return 0.0
+        start = self.sim.now
+        # 1. coherence charges — lock migrations serialize through the
+        #    file's lock service (DLM conversations are not parallel)
+        charge = fh.locks.charge_write(client, offset, nbytes)
+        lock_cost = charge.cost_s(p.lock_latency_s, self._rmw_read_s)
+        if lock_cost > 0.0:
+            dlm = yield Acquire(fh.lock_service)
+            yield Timeout(lock_cost)
+            fh.lock_service.release(dlm)
+        # 2. security attach cost per server request
+        exts = self.layout.merged_extents(offset, nbytes, shift=fh.shift)
+        by_server: dict[int, list[Extent]] = {}
+        for ext in exts:
+            by_server.setdefault(ext.server, []).append(ext)
+        sec = self.security.per_io_s * len(by_server)
+        if sec:
+            yield Timeout(sec)
+        # 3. client NIC serialization
+        nic = self._nic(client)
+        grant = yield Acquire(nic)
+        yield Timeout(nbytes / p.client_nic_Bps)
+        nic.release(grant)
+        # 4. issue to servers and wait for all
+        events = []
+        for server, sexts in by_server.items():
+            done = self.sim.event(f"w:{path}@{server}")
+            self.servers[server].queue.put(
+                _ServerRequest(
+                    file_id=fh.file_id,
+                    extents=sexts,
+                    nbytes=sum(e.length for e in sexts),
+                    write=True,
+                    done=done,
+                )
+            )
+            events.append(done)
+        for ev in events:
+            yield Wait(ev)
+        fh.size = max(fh.size, offset + nbytes)
+        self.counters.add("bytes_written", nbytes)
+        return self.sim.now - start
+
+    def op_read(self, client: int, path: str, offset: int, nbytes: int):
+        """Read process (no coherence charges for concurrent readers)."""
+        fh = self.lookup(path)
+        p = self.params
+        nbytes = max(0, min(nbytes, fh.size - offset))
+        if nbytes <= 0:
+            return 0.0
+        start = self.sim.now
+        exts = self.layout.merged_extents(offset, nbytes, shift=fh.shift)
+        by_server: dict[int, list[Extent]] = {}
+        for ext in exts:
+            by_server.setdefault(ext.server, []).append(ext)
+        sec = self.security.per_io_s * len(by_server)
+        if sec:
+            yield Timeout(sec)
+        events = []
+        for server, sexts in by_server.items():
+            done = self.sim.event(f"r:{path}@{server}")
+            self.servers[server].queue.put(
+                _ServerRequest(
+                    file_id=fh.file_id,
+                    extents=sexts,
+                    nbytes=sum(e.length for e in sexts),
+                    write=False,
+                    done=done,
+                )
+            )
+            events.append(done)
+        for ev in events:
+            yield Wait(ev)
+        nic = self._nic(client)
+        grant = yield Acquire(nic)
+        yield Timeout(nbytes / p.client_nic_Bps)
+        nic.release(grant)
+        self.counters.add("bytes_read", nbytes)
+        return self.sim.now - start
+
+    # -- reporting ------------------------------------------------------------
+    def server_stats(self) -> list[dict]:
+        return [
+            {**s.disk.stats(), **s.counters.as_dict(), "server": s.index}
+            for s in self.servers
+        ]
+
+    def total_seeks(self) -> int:
+        return sum(s.disk.seeks for s in self.servers)
+
+    def total_lock_migrations(self) -> int:
+        return sum(
+            fh.locks.total_migrations for fh in self._files.values() if fh.locks
+        )

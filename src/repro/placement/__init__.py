@@ -1,0 +1,40 @@
+"""Data-placement strategy simulator (report §4.2.3, "Parallel Layout").
+
+UCSC's trace-driven simulator compared how Ceph, PanFS, and PVFS choose
+storage nodes for chunks of data.  This package implements the three
+strategy *families* behind those systems and the metrics the study used:
+
+* :class:`RoundRobinPlacement` — PVFS: deterministic striping from a
+  per-file start offset;
+* :class:`CrushLikePlacement`  — Ceph: pseudo-random weighted placement
+  (straw-bucket style) with near-minimal migration when servers join;
+* :class:`RaidGroupPlacement`  — PanFS: each file's objects live in a
+  small RAID group chosen per file, striped within the group.
+
+Metrics: per-server load balance under a workload of file sizes, and the
+fraction of data that must move when the cluster grows.
+"""
+
+from repro.placement.strategies import (
+    CrushLikePlacement,
+    PlacementStrategy,
+    RaidGroupPlacement,
+    RoundRobinPlacement,
+)
+from repro.placement.evaluate import (
+    load_distribution,
+    imbalance,
+    migration_fraction,
+    synthetic_file_sizes,
+)
+
+__all__ = [
+    "CrushLikePlacement",
+    "PlacementStrategy",
+    "RaidGroupPlacement",
+    "RoundRobinPlacement",
+    "imbalance",
+    "load_distribution",
+    "migration_fraction",
+    "synthetic_file_sizes",
+]

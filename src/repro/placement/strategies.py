@@ -1,0 +1,105 @@
+"""Chunk-placement strategies abstracted over file-system details."""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+
+def _stable_hash(*parts: int | str) -> int:
+    key = ":".join(str(p) for p in parts).encode()
+    return int.from_bytes(hashlib.md5(key).digest()[:8], "little")
+
+
+class PlacementStrategy(ABC):
+    """Maps (file_id, chunk_index) to a server index in [0, n_servers)."""
+
+    def __init__(self, n_servers: int, weights: Sequence[float] | None = None) -> None:
+        if n_servers < 1:
+            raise ValueError("need at least one server")
+        self.n_servers = n_servers
+        if weights is None:
+            self.weights = [1.0] * n_servers
+        else:
+            if len(weights) != n_servers or any(w <= 0 for w in weights):
+                raise ValueError("weights must be positive, one per server")
+            self.weights = list(weights)
+
+    @abstractmethod
+    def place(self, file_id: int, chunk: int) -> int:
+        """Server index holding the chunk."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str: ...
+
+
+class RoundRobinPlacement(PlacementStrategy):
+    """PVFS-style: stripe from a per-file starting server (ignores weights)."""
+
+    @property
+    def name(self) -> str:
+        return "round-robin"
+
+    def place(self, file_id: int, chunk: int) -> int:
+        return (file_id + chunk) % self.n_servers
+
+
+class CrushLikePlacement(PlacementStrategy):
+    """Ceph/CRUSH straw placement: every server draws a hash-derived straw
+    scaled by its weight; the chunk goes to the longest straw.  Adding a
+    server only reassigns the chunks whose new straw wins — near-minimal
+    migration, the CRUSH property."""
+
+    @property
+    def name(self) -> str:
+        return "crush-like"
+
+    def place(self, file_id: int, chunk: int) -> int:
+        best_server = 0
+        best_straw = -math.inf
+        for s in range(self.n_servers):
+            h = _stable_hash(file_id, chunk, s)
+            u = (h + 1) / float(2**64 + 1)      # (0,1]
+            straw = math.log(u) / self.weights[s]  # max of log(u)/w ~ weighted
+            if straw > best_straw:
+                best_straw = straw
+                best_server = s
+        return best_server
+
+
+class RaidGroupPlacement(PlacementStrategy):
+    """PanFS-style: each file lives in a RAID group of ``group_size``
+    servers (chosen pseudo-randomly per file); chunks stripe within it."""
+
+    def __init__(
+        self,
+        n_servers: int,
+        group_size: int = 4,
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        super().__init__(n_servers, weights)
+        if not 1 <= group_size <= n_servers:
+            raise ValueError("group_size must be in [1, n_servers]")
+        self.group_size = group_size
+
+    @property
+    def name(self) -> str:
+        return f"raid-group-{self.group_size}"
+
+    def group_of(self, file_id: int) -> list[int]:
+        """The file's component servers (distinct, pseudo-random)."""
+        chosen: list[int] = []
+        attempt = 0
+        while len(chosen) < self.group_size:
+            s = _stable_hash(file_id, "grp", attempt) % self.n_servers
+            if s not in chosen:
+                chosen.append(s)
+            attempt += 1
+        return chosen
+
+    def place(self, file_id: int, chunk: int) -> int:
+        group = self.group_of(file_id)
+        return group[chunk % self.group_size]

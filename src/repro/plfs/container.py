@@ -1,0 +1,157 @@
+"""On-disk PLFS container format.
+
+A logical file ``/ckpt`` backed at ``backing/ckpt`` becomes::
+
+    backing/ckpt/                      <- directory (the container)
+      .plfsaccess                      <- marker: this directory is a container
+      openhosts/                       <- dropping.open.<writer> while open
+      meta/                            <- dropping.meta.<eof>.<bytes>.<writer>
+      hostdir.<k>/                     <- writers hash into hostdirs
+        dropping.data.<writer>         <- append-only data log
+        dropping.index.<writer>        <- fixed-size index records
+
+The marker file distinguishes containers from ordinary directories, as in
+real PLFS.  Metadata droppings let ``stat`` return the logical size without
+parsing any index: each closing writer records the EOF it knows and the
+bytes it wrote.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+ACCESS_MARKER = ".plfsaccess"
+OPENHOSTS = "openhosts"
+METADIR = "meta"
+HOSTDIR_FMT = "hostdir.{}"
+_DATA_RE = re.compile(r"^dropping\.data\.(?P<writer>[\w.\-]+)$")
+_INDEX_RE = re.compile(r"^dropping\.index\.(?P<writer>[\w.\-]+)$")
+_META_RE = re.compile(
+    r"^dropping\.meta\.(?P<eof>\d+)\.(?P<bytes>\d+)\.(?P<writer>[\w.\-]+)$"
+)
+
+
+class ContainerError(OSError):
+    """Container structure is missing or malformed."""
+
+
+def is_container(path: os.PathLike | str) -> bool:
+    """True if ``path`` is a PLFS container directory."""
+    p = Path(path)
+    return p.is_dir() and (p / ACCESS_MARKER).is_file()
+
+
+@dataclass(frozen=True)
+class DroppingPair:
+    """Paths of one writer's data and index droppings."""
+
+    writer: str
+    data_path: Path
+    index_path: Path
+
+
+class Container:
+    """Handle on a PLFS container directory."""
+
+    def __init__(self, path: os.PathLike | str, n_hostdirs: int = 32) -> None:
+        self.path = Path(path)
+        self.n_hostdirs = n_hostdirs
+
+    # -- lifecycle ------------------------------------------------------
+    @classmethod
+    def create(cls, path: os.PathLike | str, n_hostdirs: int = 32) -> "Container":
+        """Create an empty container (idempotent on an existing container)."""
+        c = cls(path, n_hostdirs=n_hostdirs)
+        p = c.path
+        if p.exists() and not is_container(p):
+            raise ContainerError(f"{p} exists and is not a PLFS container")
+        (p / OPENHOSTS).mkdir(parents=True, exist_ok=True)
+        (p / METADIR).mkdir(exist_ok=True)
+        (p / ACCESS_MARKER).touch()
+        return c
+
+    @classmethod
+    def open(cls, path: os.PathLike | str) -> "Container":
+        if not is_container(path):
+            raise ContainerError(f"{path} is not a PLFS container")
+        return cls(path)
+
+    def remove(self) -> None:
+        """Recursively delete the container."""
+        import shutil
+
+        shutil.rmtree(self.path)
+
+    # -- layout ---------------------------------------------------------
+    def hostdir_for(self, writer: str) -> Path:
+        # stable hash (not hash(): randomized per process)
+        h = sum(ord(ch) * 31**i for i, ch in enumerate(writer)) % self.n_hostdirs
+        d = self.path / HOSTDIR_FMT.format(h)
+        return d
+
+    def dropping_paths(self, writer: str) -> DroppingPair:
+        d = self.hostdir_for(writer)
+        d.mkdir(exist_ok=True)
+        return DroppingPair(
+            writer=writer,
+            data_path=d / f"dropping.data.{writer}",
+            index_path=d / f"dropping.index.{writer}",
+        )
+
+    def iter_droppings(self) -> Iterator[DroppingPair]:
+        """All (data, index) dropping pairs present in the container."""
+        for hostdir in sorted(self.path.glob("hostdir.*")):
+            indices = {}
+            datas = {}
+            for entry in hostdir.iterdir():
+                m = _INDEX_RE.match(entry.name)
+                if m:
+                    indices[m.group("writer")] = entry
+                    continue
+                m = _DATA_RE.match(entry.name)
+                if m:
+                    datas[m.group("writer")] = entry
+            for writer in sorted(indices):
+                if writer not in datas:
+                    raise ContainerError(
+                        f"index dropping without data dropping for {writer!r}"
+                    )
+                yield DroppingPair(writer, datas[writer], indices[writer])
+
+    # -- open-writer tracking ---------------------------------------------
+    def mark_open(self, writer: str) -> None:
+        (self.path / OPENHOSTS / f"dropping.open.{writer}").touch()
+
+    def mark_closed(self, writer: str) -> None:
+        (self.path / OPENHOSTS / f"dropping.open.{writer}").unlink(missing_ok=True)
+
+    def open_writers(self) -> list[str]:
+        return sorted(
+            e.name.removeprefix("dropping.open.")
+            for e in (self.path / OPENHOSTS).iterdir()
+        )
+
+    # -- metadata droppings --------------------------------------------------
+    def drop_meta(self, writer: str, eof: int, nbytes: int) -> None:
+        (self.path / METADIR / f"dropping.meta.{eof}.{nbytes}.{writer}").touch()
+
+    def stat_fast(self) -> tuple[int, int] | None:
+        """(logical size, total bytes) from meta droppings; None if any
+        writer is still open (metadata would be stale)."""
+        if self.open_writers():
+            return None
+        eof = 0
+        total = 0
+        seen = False
+        for entry in (self.path / METADIR).iterdir():
+            m = _META_RE.match(entry.name)
+            if not m:
+                continue
+            seen = True
+            eof = max(eof, int(m.group("eof")))
+            total += int(m.group("bytes"))
+        return (eof, total) if seen else (0, 0)

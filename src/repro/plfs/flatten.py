@@ -1,0 +1,41 @@
+"""Flatten a PLFS container into an ordinary contiguous file.
+
+Post-processing tools that cannot speak PLFS read the logical file after a
+one-time rewrite.  Flattening streams the merged index in logical order,
+writing holes as zeros, so peak memory stays at one chunk regardless of
+file size.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.plfs.container import Container, is_container
+from repro.plfs.filehandle import PlfsReadHandle
+
+DEFAULT_CHUNK = 4 << 20
+
+
+def flatten(
+    container_path: os.PathLike | str,
+    out_path: os.PathLike | str,
+    chunk_bytes: int = DEFAULT_CHUNK,
+) -> int:
+    """Write the logical contents of a container to ``out_path``.
+
+    Returns the logical size written.
+    """
+    if not is_container(container_path):
+        raise FileNotFoundError(f"{container_path} is not a PLFS container")
+    if chunk_bytes < 1:
+        raise ValueError("chunk_bytes must be positive")
+    with PlfsReadHandle(Container.open(container_path)) as rh:
+        size = rh.size
+        with open(out_path, "wb") as out:
+            pos = 0
+            while pos < size:
+                take = min(chunk_bytes, size - pos)
+                out.write(rh.read(pos, take))
+                pos += take
+    return size

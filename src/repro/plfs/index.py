@@ -1,0 +1,228 @@
+"""PLFS index records, readers/writers, and the merged global index.
+
+Every logical write appends one fixed-size binary record to the writer's
+index dropping::
+
+    (logical_offset: int64, length: int64, physical_offset: int64,
+     stored_length: int64, timestamp: float64)
+
+``stored_length`` is the bytes actually occupying the data dropping; it
+differs from ``length`` only when the writer compresses payloads
+("compress checkpoints on the fly", PDSI follow-on #3).
+
+Records from all droppings are merged in timestamp order into an
+:class:`~repro.plfs.intervalmap.IntervalMap`, giving last-writer-wins
+semantics across concurrent writers (matching real PLFS, which stamps
+records with the write time).  Timestamps here come from a container-wide
+monotone counter so runs are deterministic.
+
+Compaction merges records that are contiguous both logically and
+physically within one dropping — the optimization the report lists as
+"compress read-back indexes".
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Sequence
+
+import numpy as np
+
+from repro.plfs.intervalmap import IntervalMap, Segment
+
+_RECORD = struct.Struct("<qqqqd")
+RECORD_SIZE = _RECORD.size
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One decoded index record, tagged with its dropping of origin."""
+
+    logical_offset: int
+    length: int
+    physical_offset: int
+    timestamp: float
+    dropping: int = 0  # index into GlobalIndex.data_paths
+    stored_length: int = -1  # bytes in the data dropping; -1 = length
+
+    @property
+    def logical_end(self) -> int:
+        return self.logical_offset + self.length
+
+    @property
+    def stored(self) -> int:
+        return self.length if self.stored_length < 0 else self.stored_length
+
+    @property
+    def compressed(self) -> bool:
+        return self.stored_length >= 0 and self.stored_length != self.length
+
+
+def pack_entry(
+    logical_offset: int,
+    length: int,
+    physical_offset: int,
+    timestamp: float,
+    stored_length: int = -1,
+) -> bytes:
+    if stored_length < 0:
+        stored_length = length
+    return _RECORD.pack(logical_offset, length, physical_offset, stored_length, timestamp)
+
+
+def read_index_dropping(path: Path | str) -> list[IndexEntry]:
+    """Decode every record in one index dropping (dropping id left 0)."""
+    raw = Path(path).read_bytes()
+    if len(raw) % RECORD_SIZE:
+        raise ValueError(f"{path}: truncated index dropping ({len(raw)} bytes)")
+    return [
+        IndexEntry(lo, ln, po, ts, stored_length=(-1 if sl == ln else sl))
+        for lo, ln, po, sl, ts in _RECORD.iter_unpack(raw)
+    ]
+
+
+def compact_entries(entries: Sequence[IndexEntry]) -> list[IndexEntry]:
+    """Merge runs contiguous in both logical and physical space.
+
+    Only entries from the same dropping with consecutive timestamps merge;
+    this preserves last-writer-wins resolution exactly while shrinking the
+    index for the common sequential-writer case (often by 100x or more for
+    checkpoint workloads).
+    """
+    out: list[IndexEntry] = []
+    for e in entries:
+        if out:
+            p = out[-1]
+            if (
+                p.dropping == e.dropping
+                and not p.compressed
+                and not e.compressed
+                and p.logical_end == e.logical_offset
+                and p.physical_offset + p.length == e.physical_offset
+                and p.timestamp <= e.timestamp
+            ):
+                out[-1] = IndexEntry(
+                    p.logical_offset,
+                    p.length + e.length,
+                    p.physical_offset,
+                    e.timestamp,  # keep the latest stamp for the merged run
+                    p.dropping,
+                    stored_length=p.length + e.length,
+                )
+                continue
+        out.append(e)
+    return out
+
+
+class GlobalIndex:
+    """Merged, queryable index for a whole container."""
+
+    def __init__(self, data_paths: Sequence[Path | str], entries: Iterable[IndexEntry]) -> None:
+        self.data_paths = [Path(p) for p in data_paths]
+        ordered = sorted(entries, key=lambda e: e.timestamp)
+        self.n_entries = 0
+        self._map = IntervalMap()
+        for e in ordered:
+            if e.length <= 0:
+                continue
+            self._map.insert(e.logical_offset, e.logical_end, e)
+            self.n_entries += 1
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_droppings(
+        cls,
+        pairs: Sequence[tuple[Path | str, Path | str]],
+        compact: bool = True,
+    ) -> "GlobalIndex":
+        """Build from [(data_path, index_path), ...]."""
+        data_paths = [p for p, _ in pairs]
+        entries: list[IndexEntry] = []
+        for i, (_, index_path) in enumerate(pairs):
+            dropping_entries = [
+                IndexEntry(
+                    e.logical_offset, e.length, e.physical_offset, e.timestamp, i,
+                    stored_length=e.stored_length,
+                )
+                for e in read_index_dropping(index_path)
+            ]
+            if compact:
+                dropping_entries = compact_entries(dropping_entries)
+            entries.extend(dropping_entries)
+        return cls(data_paths, entries)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def eof(self) -> int:
+        """Logical file size (one past the last written byte)."""
+        return self._map.extent
+
+    def covered_bytes(self) -> int:
+        return self._map.covered_bytes()
+
+    def lookup(self, offset: int, length: int) -> list[Segment]:
+        """Segments of ``[offset, offset+length)`` present in droppings.
+
+        Each returned segment's payload is the winning :class:`IndexEntry`;
+        ``payload_offset`` locates the segment inside that entry.  Byte
+        ranges absent from the result are holes (read as zeros).
+        """
+        return self._map.query(offset, offset + length)
+
+    def physical_location(self, segment: Segment) -> tuple[Path, int]:
+        """(data dropping path, physical offset) for a lookup segment.
+
+        Only meaningful for uncompressed entries, where logical bytes map
+        1:1 to stored bytes.
+        """
+        entry: IndexEntry = segment.payload
+        if entry.compressed:
+            raise ValueError("compressed entry has no per-byte physical location")
+        return (
+            self.data_paths[entry.dropping],
+            entry.physical_offset + segment.payload_offset,
+        )
+
+    def read_into(self, out: bytearray, offset: int, files: dict[int, BinaryIO]) -> int:
+        """Fill ``out`` from the droppings; returns bytes that were mapped.
+
+        ``files`` caches open data-dropping file objects by dropping id.
+        Holes are left as the buffer's existing (zero) content.
+        """
+        length = len(out)
+        mapped = 0
+        for seg in self.lookup(offset, length):
+            entry: IndexEntry = seg.payload
+            f = files.get(entry.dropping)
+            if f is None:
+                f = open(self.data_paths[entry.dropping], "rb")
+                files[entry.dropping] = f
+            if entry.compressed:
+                # decompress the whole stored blob, slice the segment
+                f.seek(entry.physical_offset)
+                blob = f.read(entry.stored)
+                if len(blob) != entry.stored:
+                    raise IOError(
+                        f"short read from {self.data_paths[entry.dropping]}: "
+                        f"wanted {entry.stored}, got {len(blob)}"
+                    )
+                plain = zlib.decompress(blob)
+                if len(plain) != entry.length:
+                    raise IOError("compressed entry decompressed to wrong length")
+                data = plain[seg.payload_offset:seg.payload_offset + seg.length]
+            else:
+                f.seek(entry.physical_offset + seg.payload_offset)
+                data = f.read(seg.length)
+                if len(data) != seg.length:
+                    raise IOError(
+                        f"short read from {self.data_paths[entry.dropping]}: "
+                        f"wanted {seg.length}, got {len(data)}"
+                    )
+            rel = seg.start - offset
+            out[rel:rel + seg.length] = data
+            mapped += seg.length
+        return mapped

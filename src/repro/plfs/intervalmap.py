@@ -1,0 +1,132 @@
+"""Last-writer-wins interval map over the logical byte space.
+
+The global PLFS index must answer: *which data-dropping bytes hold logical
+range [a, b) right now?*  Entries are inserted in timestamp order; a later
+insert overwrites any part of earlier segments it overlaps (splitting them
+as needed).  Queries return the non-overlapping segments covering a range,
+with gaps (holes, read as zeros) simply absent.
+
+The structure is a sorted list of disjoint half-open segments with
+``bisect`` lookups: O(log n + k) per query, amortized O(log n + k) per
+insert.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, replace
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of logical bytes served by one index entry.
+
+    ``payload`` is opaque to the map (PLFS stores the entry describing the
+    data dropping); ``payload_offset`` is how far into the original entry
+    this segment starts — needed when an entry is split by later writes.
+    """
+
+    start: int
+    end: int
+    payload: Any
+    payload_offset: int = 0
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty segment [{self.start}, {self.end})")
+
+
+class IntervalMap:
+    """Disjoint, sorted segments supporting overwrite-insert and query."""
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._segs: list[Segment] = []
+
+    def __len__(self) -> int:
+        return len(self._segs)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segs)
+
+    @property
+    def extent(self) -> int:
+        """One past the last mapped byte (0 if empty)."""
+        return self._segs[-1].end if self._segs else 0
+
+    def covered_bytes(self) -> int:
+        return sum(s.length for s in self._segs)
+
+    # -- mutation -----------------------------------------------------
+    def insert(self, start: int, end: int, payload: Any) -> None:
+        """Map ``[start, end)`` to ``payload``, clipping older segments."""
+        if end <= start:
+            return
+        # find first segment that could overlap: the one before the
+        # insertion point may spill into [start, end)
+        i = bisect.bisect_left(self._starts, start)
+        if i > 0 and self._segs[i - 1].end > start:
+            i -= 1
+        new_segs: list[Segment] = []
+        j = i
+        while j < len(self._segs) and self._segs[j].start < end:
+            old = self._segs[j]
+            if old.start < start:  # left remnant survives
+                new_segs.append(replace(old, end=start))
+            if old.end > end:      # right remnant survives
+                cut = end - old.start
+                new_segs.append(
+                    replace(
+                        old,
+                        start=end,
+                        payload_offset=old.payload_offset + cut,
+                    )
+                )
+            j += 1
+        new_segs.append(Segment(start, end, payload))
+        new_segs.sort(key=lambda s: s.start)
+        self._segs[i:j] = new_segs
+        self._starts[i:j] = [s.start for s in new_segs]
+
+    # -- queries ------------------------------------------------------
+    def query(self, start: int, end: int) -> list[Segment]:
+        """Segments overlapping ``[start, end)``, clipped to the range."""
+        if end <= start or not self._segs:
+            return []
+        i = bisect.bisect_left(self._starts, start)
+        if i > 0 and self._segs[i - 1].end > start:
+            i -= 1
+        out: list[Segment] = []
+        while i < len(self._segs) and self._segs[i].start < end:
+            seg = self._segs[i]
+            s = max(seg.start, start)
+            e = min(seg.end, end)
+            if e > s:
+                out.append(
+                    replace(
+                        seg,
+                        start=s,
+                        end=e,
+                        payload_offset=seg.payload_offset + (s - seg.start),
+                    )
+                )
+            i += 1
+        return out
+
+    def payload_at(self, offset: int) -> Optional[Segment]:
+        """The segment containing ``offset``, or None (a hole)."""
+        segs = self.query(offset, offset + 1)
+        return segs[0] if segs else None
+
+    def check_invariants(self) -> None:
+        """Segments are sorted, disjoint, non-empty; starts mirror segs."""
+        assert self._starts == [s.start for s in self._segs]
+        for a, b in zip(self._segs, self._segs[1:]):
+            assert a.end <= b.start, f"overlap: {a} then {b}"
+        for s in self._segs:
+            assert s.length > 0

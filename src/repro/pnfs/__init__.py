@@ -1,0 +1,29 @@
+"""Parallel NFS (report §2.2 and §5.7 — the Michigan/CITI thread).
+
+pNFS extends NFSv4.1: a client first asks the *metadata server* for a
+**layout** (which data servers hold which stripes of a file), then moves
+data *directly and in parallel* to the data servers — "by separating data
+and metadata access, pNFS eliminates the server bottlenecks inherent to
+NAS access methods".  Plain NFS funnels every byte through the one
+server.
+
+This package implements both protocol shapes over the DES substrate:
+
+- :mod:`repro.pnfs.protocol` — layout grants/recalls/commits, the three
+  IETF layout types (file, object, block — differing in stripe mapping
+  and commit behaviour), client sessions,
+- :mod:`repro.pnfs.server`   — the NFS server path (single funnel) and
+  the pNFS MDS + data-server path, plus the scaling experiment.
+"""
+
+from repro.pnfs.protocol import Layout, LayoutKind, LayoutManager, LayoutError
+from repro.pnfs.server import NFSCluster, run_scaling_experiment
+
+__all__ = [
+    "Layout",
+    "LayoutError",
+    "LayoutKind",
+    "LayoutManager",
+    "NFSCluster",
+    "run_scaling_experiment",
+]

@@ -1,0 +1,155 @@
+"""pNFS layout state machine (NFSv4.1 §12, simplified but faithful).
+
+The metadata server hands out *layouts*: leases entitling a client to
+direct I/O against data servers for a byte range of a file.  Layouts are
+reference-counted state at the MDS; conflicting operations (e.g. a
+restripe, or an NFS client without pNFS support writing through the MDS)
+force a **layout recall**, which clients must honour by committing and
+returning their layouts.  Writes performed via a layout are made visible
+by **LAYOUTCOMMIT** (updating the file size/attributes at the MDS).
+
+Three IETF layout types are modeled:
+
+* ``FILE``   — stripes served by NFS data servers (RFC 5661),
+* ``OBJECT`` — object storage devices, capability-secured (RFC 5664),
+* ``BLOCK``  — shared block volumes; clients must pre-allocate and must
+  not expose uninitialized blocks, so commits are mandatory even for
+  in-place writes (RFC 5663).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.pfs.layout import StripeLayout
+
+
+class LayoutKind(Enum):
+    FILE = "file"
+    OBJECT = "object"
+    BLOCK = "block"
+
+
+class LayoutError(RuntimeError):
+    """Protocol violation (stale layout, bad range, double return...)."""
+
+
+@dataclass
+class Layout:
+    """One granted layout segment."""
+
+    layout_id: int
+    client_id: int
+    path: str
+    kind: LayoutKind
+    offset: int
+    length: int              # -1 = whole file
+    iomode: str              # 'read' | 'rw'
+    stripe: StripeLayout
+    shift: int
+    recalled: bool = False
+    returned: bool = False
+
+    def covers(self, offset: int, length: int) -> bool:
+        if self.length < 0:
+            return offset >= self.offset
+        return self.offset <= offset and offset + length <= self.offset + self.length
+
+    def servers_for(self, offset: int, length: int) -> list[int]:
+        return sorted(
+            {e.server for e in self.stripe.extents(offset, length, shift=self.shift)}
+        )
+
+
+class LayoutManager:
+    """MDS-side layout state for one file system."""
+
+    def __init__(self, stripe: StripeLayout) -> None:
+        self.stripe = stripe
+        self._ids = itertools.count(1)
+        self._by_file: dict[str, list[Layout]] = {}
+        self.grants = 0
+        self.recalls = 0
+        self.commits = 0
+
+    def grant(
+        self,
+        client_id: int,
+        path: str,
+        kind: LayoutKind,
+        iomode: str = "rw",
+        offset: int = 0,
+        length: int = -1,
+        shift: int = 0,
+    ) -> Layout:
+        """LAYOUTGET: read layouts always share; rw layouts share with
+        other rw holders (stripe-aligned non-overlap is the clients'
+        responsibility, as in the RFCs) but conflict with recalls."""
+        if iomode not in ("read", "rw"):
+            raise LayoutError(f"bad iomode {iomode!r}")
+        if offset < 0 or (length < 0 and length != -1):
+            raise LayoutError("bad layout range")
+        layout = Layout(
+            layout_id=next(self._ids),
+            client_id=client_id,
+            path=path,
+            kind=kind,
+            offset=offset,
+            length=length,
+            iomode=iomode,
+            stripe=self.stripe,
+            shift=shift,
+        )
+        self._by_file.setdefault(path, []).append(layout)
+        self.grants += 1
+        return layout
+
+    def commit(self, layout: Layout, new_size: int) -> int:
+        """LAYOUTCOMMIT: returns the size now visible at the MDS."""
+        self._check_live(layout)
+        if layout.iomode != "rw":
+            raise LayoutError("cannot commit through a read layout")
+        self.commits += 1
+        return new_size
+
+    def layout_return(self, layout: Layout) -> None:
+        """LAYOUTRETURN (idempotent only until returned once)."""
+        if layout.returned:
+            raise LayoutError("layout already returned")
+        layout.returned = True
+        self._by_file[layout.path].remove(layout)
+
+    def recall_file(self, path: str) -> list[Layout]:
+        """CB_LAYOUTRECALL for every outstanding layout of a file (e.g.,
+        restripe, or a non-pNFS writer needs exclusive MDS-path access)."""
+        outstanding = list(self._by_file.get(path, []))
+        for lo in outstanding:
+            lo.recalled = True
+            self.recalls += 1
+        return outstanding
+
+    def outstanding(self, path: str) -> int:
+        return len(self._by_file.get(path, []))
+
+    def check_io(self, layout: Layout, offset: int, length: int, write: bool) -> None:
+        """Client-side guard before direct I/O with a layout."""
+        self._check_live(layout)
+        if layout.recalled:
+            raise LayoutError("layout recalled; return it and re-fetch")
+        if write and layout.iomode != "rw":
+            raise LayoutError("write through a read layout")
+        if not layout.covers(offset, length):
+            raise LayoutError("I/O outside the layout's byte range")
+
+    @staticmethod
+    def commit_required(kind: LayoutKind, extended_file: bool) -> bool:
+        """Block layouts must always commit (provisional extents); file and
+        object layouts only when the file grew."""
+        return kind is LayoutKind.BLOCK or extended_file
+
+    def _check_live(self, layout: Layout) -> None:
+        if layout.returned:
+            raise LayoutError("layout already returned")

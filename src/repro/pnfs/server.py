@@ -1,0 +1,132 @@
+"""NFS vs pNFS data paths over the DES substrate, plus the scaling study.
+
+Plain NFS: every client's bytes pass through the one server (its NIC and
+its backend).  pNFS: the MDS only grants layouts (cheap); data flows
+straight to the striped data servers.  The experiment the IETF pitch
+rests on: aggregate client bandwidth vs client count saturates at one
+server's NIC for NFS but scales with data servers for pNFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pfs.layout import StripeLayout
+from repro.pnfs.protocol import LayoutKind, LayoutManager
+from repro.sim import Acquire, Resource, Simulator, Timeout
+
+
+@dataclass(frozen=True)
+class NFSParams:
+    n_data_servers: int = 8
+    stripe_unit: int = 1 << 20
+    server_nic_Bps: float = 112e6        # per data server (and the NFS server)
+    client_nic_Bps: float = 112e6
+    backend_Bps: float = 400e6           # NFS server's storage backend
+    rpc_s: float = 200e-6
+    mds_op_s: float = 0.5e-3
+
+
+class NFSCluster:
+    """Both protocol paths over one set of parameters."""
+
+    def __init__(self, sim: Simulator, params: NFSParams = NFSParams()) -> None:
+        self.sim = sim
+        self.params = params
+        # plain-NFS funnel: one NIC + one backend
+        self.nfs_nic = Resource(sim, capacity=1, name="nfsd.nic")
+        self.nfs_backend = Resource(sim, capacity=1, name="nfsd.backend")
+        # pNFS: MDS for layouts, per-data-server NICs
+        self.mds = Resource(sim, capacity=1, name="pnfs.mds")
+        self.data_nics = [
+            Resource(sim, capacity=1, name=f"ds{i}.nic")
+            for i in range(params.n_data_servers)
+        ]
+        self.layouts = LayoutManager(
+            StripeLayout(params.n_data_servers, params.stripe_unit)
+        )
+
+    # -- plain NFS ------------------------------------------------------
+    def nfs_write(self, client: int, nbytes: int, chunk: int = 1 << 20):
+        """All bytes through the server NIC, then its backend.
+
+        Pipelined at chunk granularity: while the backend commits chunk k,
+        the NIC already receives chunk k+1 (the two stages are separate
+        resources with a background drainer per chunk)."""
+        p = self.params
+
+        def backend_stage(take: int, done):
+            grant = yield Acquire(self.nfs_backend)
+            yield Timeout(take / p.backend_Bps)
+            self.nfs_backend.release(grant)
+            done.succeed()
+
+        pending = []
+        pos = 0
+        while pos < nbytes:
+            take = min(chunk, nbytes - pos)
+            grant = yield Acquire(self.nfs_nic)
+            yield Timeout(p.rpc_s + take / p.server_nic_Bps)
+            self.nfs_nic.release(grant)
+            done = self.sim.event("nfs.commit")
+            self.sim.spawn(backend_stage(take, done))
+            pending.append(done)
+            pos += take
+        for ev in pending:
+            if not ev.triggered:
+                yield ev
+
+    # -- pNFS ---------------------------------------------------------------
+    def pnfs_write(
+        self, client: int, nbytes: int, kind: LayoutKind = LayoutKind.FILE,
+        chunk: int = 1 << 20,
+    ):
+        """LAYOUTGET at the MDS, direct striped I/O, LAYOUTCOMMIT."""
+        p = self.params
+        grant = yield Acquire(self.mds)
+        yield Timeout(p.mds_op_s)
+        layout = self.layouts.grant(client, f"/f{client}", kind, shift=client)
+        self.mds.release(grant)
+        pos = 0
+        while pos < nbytes:
+            take = min(chunk, nbytes - pos)
+            self.layouts.check_io(layout, pos, take, write=True)
+            for ext in layout.stripe.extents(pos, take, shift=layout.shift):
+                nic = self.data_nics[ext.server]
+                g = yield Acquire(nic)
+                yield Timeout(p.rpc_s + ext.length / p.server_nic_Bps)
+                nic.release(g)
+            pos += take
+        if LayoutManager.commit_required(kind, extended_file=True):
+            grant = yield Acquire(self.mds)
+            yield Timeout(p.mds_op_s)
+            self.layouts.commit(layout, nbytes)
+            self.mds.release(grant)
+        grant = yield Acquire(self.mds)
+        yield Timeout(p.mds_op_s)
+        self.layouts.layout_return(layout)
+        self.mds.release(grant)
+
+
+def run_scaling_experiment(
+    client_counts: list[int],
+    nbytes_per_client: int = 64 << 20,
+    params: NFSParams = NFSParams(),
+) -> list[dict]:
+    """Aggregate write bandwidth vs client count, both protocols."""
+    out = []
+    for n in client_counts:
+        row = {"clients": n}
+        for proto in ("nfs", "pnfs"):
+            sim = Simulator()
+            cluster = NFSCluster(sim, params)
+            for c in range(n):
+                if proto == "nfs":
+                    sim.spawn(cluster.nfs_write(c, nbytes_per_client))
+                else:
+                    sim.spawn(cluster.pnfs_write(c, nbytes_per_client))
+            makespan = sim.run()
+            row[f"{proto}_MBps"] = n * nbytes_per_client / makespan / 1e6
+        row["speedup"] = row["pnfs_MBps"] / row["nfs_MBps"]
+        out.append(row)
+    return out

@@ -1,0 +1,26 @@
+"""Context-based prefetching: order-1 baseline vs GMC (report §5.4.2).
+
+Global Multi-order Context (GMC) prefetching extends classic single-order
+Markov prediction two ways: it consults contexts of *several lengths*
+(longest match first, falling back like PPM), and it builds those contexts
+over the *global* access stream in addition to per-file local streams —
+catching cross-file patterns a local predictor cannot see.  The report:
+"increase prefetching coverage while maintaining prefetching accuracy."
+"""
+
+from repro.prefetch.gmc import (
+    GMCPrefetcher,
+    OrderOnePrefetcher,
+    PrefetchStats,
+    evaluate_prefetcher,
+)
+from repro.prefetch.streams import looping_stream, multi_file_stream
+
+__all__ = [
+    "GMCPrefetcher",
+    "OrderOnePrefetcher",
+    "PrefetchStats",
+    "evaluate_prefetcher",
+    "looping_stream",
+    "multi_file_stream",
+]

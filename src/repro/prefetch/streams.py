@@ -1,0 +1,73 @@
+"""Synthetic access streams with local and cross-file structure."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prefetch.gmc import Access
+
+
+def looping_stream(
+    n_blocks: int,
+    n_loops: int,
+    rng: np.random.Generator,
+    noise: float = 0.1,
+    file_id: int = 0,
+) -> list[Access]:
+    """A loop re-reading the same block sequence, with random noise
+    accesses injected — the classic prefetchable pattern."""
+    if not 0.0 <= noise < 1.0:
+        raise ValueError("noise must be in [0, 1)")
+    seq = list(rng.permutation(n_blocks))
+    out: list[Access] = []
+    for _ in range(n_loops):
+        for b in seq:
+            if rng.random() < noise:
+                out.append((file_id, int(rng.integers(n_blocks, 4 * n_blocks))))
+            out.append((file_id, int(b)))
+    return out
+
+
+def multi_file_stream(
+    n_files: int,
+    blocks_per_file: int,
+    n_rounds: int,
+    rng: np.random.Generator,
+    noise: float = 0.05,
+    branches: int = 3,
+) -> list[Access]:
+    """Branching cross-file pattern that only multi-order context resolves.
+
+    The cycle visits *anchor* accesses, each followed by one of
+    ``branches`` distinct successors depending on where in the cycle we are
+    (think: an index file consulted before each of several data files).
+    An order-1 predictor sees each anchor followed by ``branches``
+    different accesses with equal frequency — it can only guess — while an
+    order-2 context (previous access + anchor) disambiguates exactly.
+    """
+    if not 0.0 <= noise < 1.0:
+        raise ValueError("noise must be in [0, 1)")
+    if branches < 2:
+        raise ValueError("need at least 2 branches for ambiguity")
+    n_anchors = max(2, n_files)
+    cycle: list[Access] = []
+    succ_block = 0
+    for a in range(n_anchors):
+        anchor: Access = (a % n_files, a % blocks_per_file)
+        for j in range(branches):
+            cycle.append(anchor)
+            # distinct successor pairs, spread over files
+            cycle.append(((a + j + 1) % n_files, blocks_per_file + succ_block))
+            succ_block += 1
+    out: list[Access] = []
+    for _ in range(n_rounds):
+        for acc in cycle:
+            if rng.random() < noise:
+                out.append(
+                    (
+                        int(rng.integers(n_files)),
+                        int(rng.integers(10 * blocks_per_file, 20 * blocks_per_file)),
+                    )
+                )
+            out.append(acc)
+    return out

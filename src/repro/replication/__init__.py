@@ -1,0 +1,26 @@
+"""Replication tradeoffs for long-running write-mostly applications
+(report §4.2.4: Michigan/UCSC "models and tools to predict application
+server utilization and reliability for a given storage replication
+strategy", using discrete event simulation).
+
+A write-mostly application runs against a replicated storage service:
+more replicas survive more failures (fewer application stalls waiting
+for data recovery) but cost write fan-out bandwidth.  The model predicts
+*application utilization* (useful fraction of wall-clock) and *service
+availability* across replication degrees, exposing the optimum the
+papers identify.
+"""
+
+from repro.replication.model import (
+    ReplicationConfig,
+    ReplicationOutcome,
+    simulate_replicated_run,
+    sweep_replication,
+)
+
+__all__ = [
+    "ReplicationConfig",
+    "ReplicationOutcome",
+    "simulate_replicated_run",
+    "sweep_replication",
+]

@@ -1,0 +1,131 @@
+"""Discrete-event model of an application over replicated storage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """One deployment point.
+
+    The application writes continuously at ``write_Bps``; each of ``r``
+    replicas absorbs a full copy, out of ``server_Bps`` per server and
+    ``n_servers`` servers total (so fan-out eats aggregate bandwidth).
+    Servers fail (exponential, ``server_mttf_s``) and re-replicate from
+    survivors in ``recover_s``; the application *stalls* whenever fewer
+    than one replica of its data is healthy.
+    """
+
+    replicas: int = 2
+    n_servers: int = 12
+    server_Bps: float = 100e6
+    write_Bps: float = 300e6
+    server_mttf_s: float = 30 * 86400.0
+    recover_s: float = 3600.0
+    #: probability a failure is *correlated* (rack/PDU event) and takes a
+    #: second replica down simultaneously — the report's "probability
+    #: distributions for storage system failure and correlated failure"
+    correlated_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.replicas <= self.n_servers:
+            raise ValueError("need 1 <= replicas <= n_servers")
+        if min(self.server_Bps, self.write_Bps, self.server_mttf_s, self.recover_s) <= 0:
+            raise ValueError("rates and times must be positive")
+        if not 0.0 <= self.correlated_prob <= 1.0:
+            raise ValueError("correlated_prob must be a probability")
+
+
+@dataclass
+class ReplicationOutcome:
+    replicas: int
+    utilization: float        # useful app fraction of wall-clock
+    availability: float       # fraction of time >= 1 replica healthy
+    data_loss_events: int
+    write_bandwidth_fraction: float  # share of aggregate b/w eaten by fan-out
+
+
+def simulate_replicated_run(
+    cfg: ReplicationConfig,
+    duration_s: float,
+    rng: np.random.Generator,
+) -> ReplicationOutcome:
+    """Monte-Carlo run of the replica group holding the app's hot data.
+
+    The app's data lives on ``cfg.replicas`` servers.  A failed replica
+    recovers after ``recover_s`` (re-replication from a survivor).  If
+    *all* replicas are simultaneously down, that is a data-loss event:
+    the app restarts from its last externalized state after a full
+    recovery (costing another ``recover_s``).
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    r = cfg.replicas
+    # write throttling: fan-out must fit in aggregate server bandwidth
+    demand = cfg.write_Bps * r
+    supply = cfg.server_Bps * cfg.n_servers
+    write_fraction = min(1.0, demand / supply)
+    throughput_scale = min(1.0, supply / demand)
+    # replica up/down processes
+    down_until = np.zeros(r)
+    next_fail = rng.exponential(cfg.server_mttf_s, size=r)
+    t = 0.0
+    stalled = 0.0
+    losses = 0
+    while t < duration_s:
+        next_event = min(next_fail.min(), duration_s)
+        t = next_event
+        if t >= duration_s:
+            break
+        i = int(np.argmin(next_fail))
+        # replica i fails now; recovery window
+        down_until[i] = t + cfg.recover_s
+        next_fail[i] = down_until[i] + rng.exponential(cfg.server_mttf_s)
+        # correlated event: a shared rack/PDU takes a sibling replica too
+        if r > 1 and cfg.correlated_prob > 0 and rng.random() < cfg.correlated_prob:
+            sibling = (i + 1 + int(rng.integers(0, r - 1))) % r
+            if down_until[sibling] <= t:
+                down_until[sibling] = t + cfg.recover_s
+                next_fail[sibling] = down_until[sibling] + rng.exponential(cfg.server_mttf_s)
+        healthy = int((down_until <= t).sum())  # the failed one is already marked
+        if healthy <= 0:
+            losses += 1
+            stalled += cfg.recover_s  # app halts for a full restore
+        # overlapping single-replica repair is transparent (writes degrade
+        # but survive): charged only as bandwidth fraction, not stall
+    availability = 1.0 - losses * cfg.recover_s / duration_s
+    utilization = max(0.0, (1.0 - stalled / duration_s)) * throughput_scale
+    return ReplicationOutcome(
+        replicas=r,
+        utilization=utilization,
+        availability=max(0.0, availability),
+        data_loss_events=losses,
+        write_bandwidth_fraction=write_fraction,
+    )
+
+
+def sweep_replication(
+    base: ReplicationConfig,
+    duration_s: float,
+    seed: int = 0,
+    max_replicas: int | None = None,
+) -> list[ReplicationOutcome]:
+    """Evaluate replication degrees 1..max on identical failure draws."""
+    out = []
+    top = max_replicas or base.n_servers // 2
+    for r in range(1, top + 1):
+        cfg = ReplicationConfig(
+            replicas=r,
+            n_servers=base.n_servers,
+            server_Bps=base.server_Bps,
+            write_Bps=base.write_Bps,
+            server_mttf_s=base.server_mttf_s,
+            recover_s=base.recover_s,
+            correlated_prob=base.correlated_prob,
+        )
+        rng = np.random.default_rng(seed)  # common random numbers
+        out.append(simulate_replicated_run(cfg, duration_s, rng))
+    return out

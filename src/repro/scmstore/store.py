@@ -1,0 +1,181 @@
+"""Log-structured object store with stream separation and cleaning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+import numpy as np
+
+PLACEMENT_POLICIES = ("mixed", "split-meta", "split-all")
+
+#: write kinds, hottest last
+KINDS = ("data", "meta", "atime")
+
+
+@dataclass
+class StoreStats:
+    host_writes: int = 0
+    cleaner_moves: int = 0
+    segments_erased: int = 0
+
+    @property
+    def cleaning_overhead(self) -> float:
+        """Pages moved by the cleaner per host write (0 = free cleaning)."""
+        return self.cleaner_moves / self.host_writes if self.host_writes else 0.0
+
+    @property
+    def write_amplification(self) -> float:
+        return 1.0 + self.cleaning_overhead
+
+
+class ObjectStore:
+    """Segmented log with per-stream heads and greedy cleaning.
+
+    Every live datum is a *key* (e.g. ``('data', obj, block)`` or
+    ``('atime', obj)``) occupying one page; rewriting a key invalidates
+    its old page.  The placement policy controls how many separate log
+    streams exist and which kind goes where.
+    """
+
+    def __init__(
+        self,
+        n_segments: int = 64,
+        pages_per_segment: int = 128,
+        policy: str = "mixed",
+        clean_watermark: int = 2,
+    ) -> None:
+        if policy not in PLACEMENT_POLICIES:
+            raise ValueError(f"unknown policy {policy!r}")
+        if n_segments < 8 or pages_per_segment < 1:
+            raise ValueError("need >= 8 segments and >= 1 page each")
+        self.policy = policy
+        self.n_segments = n_segments
+        self.pages_per_segment = pages_per_segment
+        self.clean_watermark = clean_watermark
+        # segment state
+        self.live_keys: list[dict[int, Hashable]] = [dict() for _ in range(n_segments)]
+        self.next_page: list[int] = [0] * n_segments
+        n_streams = len(self._streams())
+        self._free: list[int] = list(range(n_segments - 1, n_streams - 1, -1))
+        self._heads: dict[str, int] = {
+            stream: i for i, stream in enumerate(self._streams())
+        }
+        # key -> (segment, page)
+        self.location: dict[Hashable, tuple[int, int]] = {}
+        self.stats = StoreStats()
+
+    # -- policy -> stream mapping ------------------------------------------
+    def _streams(self) -> list[str]:
+        if self.policy == "mixed":
+            return ["all"]
+        if self.policy == "split-meta":
+            return ["data", "hot"]  # meta+atime share the hot stream
+        return ["data", "meta", "atime"]
+
+    def stream_of(self, kind: str) -> str:
+        if kind not in KINDS:
+            raise ValueError(f"unknown kind {kind!r}")
+        if self.policy == "mixed":
+            return "all"
+        if self.policy == "split-meta":
+            return "data" if kind == "data" else "hot"
+        return kind
+
+    # -- write path -----------------------------------------------------------
+    def write(self, kind: str, key: Hashable) -> None:
+        """(Re)write one page for ``key``; old version invalidates."""
+        stream = self.stream_of(kind)
+        old = self.location.get(key)
+        if old is not None:
+            seg, page = old
+            self.live_keys[seg].pop(page, None)
+        self._append(stream, key)
+        self.stats.host_writes += 1
+        if len(self._free) < self.clean_watermark:
+            self._clean()
+
+    def _append(self, stream: str, key: Hashable) -> None:
+        head = self._heads[stream]
+        if self.next_page[head] >= self.pages_per_segment:
+            if not self._free:
+                raise RuntimeError("log out of free segments")
+            head = self._free.pop()
+            self._heads[stream] = head
+            self.next_page[head] = 0
+        page = self.next_page[head]
+        self.next_page[head] = page + 1
+        self.live_keys[head][page] = key
+        self.location[key] = (head, page)
+
+    # -- cleaning -----------------------------------------------------------------
+    def _clean(self) -> None:
+        while len(self._free) < self.clean_watermark:
+            victim = self._pick_victim()
+            for page, key in sorted(self.live_keys[victim].items()):
+                # move the live page back into its key's stream
+                kind = key[0] if isinstance(key, tuple) else "data"
+                self._append(self.stream_of(kind), key)
+                self.stats.cleaner_moves += 1
+            self.live_keys[victim] = {}
+            self.next_page[victim] = 0
+            self._free.insert(0, victim)
+            self.stats.segments_erased += 1
+
+    def _pick_victim(self) -> int:
+        heads = set(self._heads.values())
+        best = None
+        best_live = None
+        for seg in range(self.n_segments):
+            if seg in heads or seg in self._free:
+                continue
+            live = len(self.live_keys[seg])
+            if best_live is None or live < best_live:
+                best, best_live = seg, live
+        if best is None or best_live is None or best_live >= self.pages_per_segment:
+            raise RuntimeError("no cleanable victim; store over-full")
+        return best
+
+    # -- invariants ----------------------------------------------------------------
+    def check_invariants(self) -> None:
+        seen = {}
+        for seg, pages in enumerate(self.live_keys):
+            for page, key in pages.items():
+                assert self.location[key] == (seg, page)
+                assert key not in seen, f"{key} live twice"
+                seen[key] = (seg, page)
+        assert seen == self.location
+
+
+def run_mixed_workload(
+    policy: str,
+    rng: np.random.Generator,
+    n_objects: int = 200,
+    data_blocks: int = 8,
+    n_reads: int = 8000,
+    meta_update_prob: float = 0.1,
+    data_rewrite_prob: float = 0.01,
+    **store_kwargs,
+) -> StoreStats:
+    """The report's read-intensive experiment.
+
+    Objects are ingested once (cold data + metadata), then a long
+    read-mostly phase updates access times on every read, occasionally
+    touching metadata and rarely rewriting data.
+    """
+    store = ObjectStore(policy=policy, **store_kwargs)
+    for obj in range(n_objects):
+        for b in range(data_blocks):
+            store.write("data", ("data", obj, b))
+        store.write("meta", ("meta", obj))
+        store.write("atime", ("atime", obj))
+    for _ in range(n_reads):
+        obj = int(rng.integers(0, n_objects))
+        store.write("atime", ("atime", obj))  # every read updates atime
+        if rng.random() < meta_update_prob:
+            store.write("meta", ("meta", obj))
+        if rng.random() < data_rewrite_prob:
+            b = int(rng.integers(0, data_blocks))
+            store.write("data", ("data", obj, b))
+    store.check_invariants()
+    return store.stats

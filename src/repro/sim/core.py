@@ -1,0 +1,257 @@
+"""Core event loop, events, and coroutine processes.
+
+Determinism contract: events scheduled for the same simulated time fire in
+the order they were scheduled (FIFO tie-break via a monotone sequence
+number).  No wall-clock or nondeterministic source is consulted anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for protocol violations inside the simulation kernel."""
+
+
+class Event:
+    """A one-shot occurrence that processes may wait on.
+
+    An event starts *pending*; :meth:`succeed` (or :meth:`fail`) triggers it
+    exactly once, resuming every waiter.  Waiters that arrive after the
+    trigger are resumed immediately at the current simulation time.
+    """
+
+    __slots__ = ("sim", "_value", "_exc", "_done", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._done = False
+        self._waiters: list[Process] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError(f"event {self.name!r} not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._done:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._done = True
+        self._value = value
+        self._flush()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._done:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._done = True
+        self._exc = exc
+        self._flush()
+        return self
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._done:
+            self.sim._schedule(self.sim.now, proc._resume_from_event, self)
+        else:
+            self._waiters.append(proc)
+
+    def _flush(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._schedule(self.sim.now, proc._resume_from_event, self)
+
+
+class Timeout:
+    """Yield target: resume the process after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay!r}")
+        self.delay = float(delay)
+        self.value = value
+
+
+class Wait:
+    """Yield target: block until ``event`` triggers; returns its value."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+
+
+class Acquire:
+    """Yield target: block until a unit of ``resource`` is granted.
+
+    The yield expression evaluates to a *grant* token which must later be
+    passed to ``resource.release(grant)``.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: Any) -> None:
+        self.resource = resource
+
+
+class Process:
+    """A running generator coroutine inside a :class:`Simulator`.
+
+    A process is itself waitable: yielding a ``Process`` blocks until it
+    finishes and evaluates to its return value (the generator's
+    ``StopIteration`` value).  Uncaught exceptions propagate to waiters, or
+    to :meth:`Simulator.run` if nobody is waiting.
+    """
+
+    __slots__ = ("sim", "gen", "name", "done_event", "_started")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(gen).__name__}; "
+                "did you forget a yield in the process function?"
+            )
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done_event = Event(sim, name=f"done:{self.name}")
+        self._started = False
+
+    @property
+    def finished(self) -> bool:
+        return self.done_event.triggered
+
+    def _resume_from_event(self, event: Event) -> None:
+        try:
+            value = event.value
+        except BaseException as exc:  # propagate failure into the coroutine
+            self._step(exc=exc)
+            return
+        self._step(value=value)
+
+    def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+        try:
+            if exc is not None:
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value) if self._started else next(self.gen)
+                self._started = True
+        except StopIteration as stop:
+            self.done_event.succeed(stop.value)
+            return
+        except BaseException as err:
+            if self.done_event._waiters:
+                self.done_event.fail(err)
+            else:
+                self.done_event._done = True
+                self.done_event._exc = err
+                self.sim._crash(err)
+            return
+        self._dispatch(target)
+
+    def _dispatch(self, target: Any) -> None:
+        sim = self.sim
+        if isinstance(target, Timeout):
+            sim._schedule(sim.now + target.delay, self._step, target.value)
+        elif isinstance(target, Wait):
+            target.event._add_waiter(self)
+        elif isinstance(target, Event):
+            target._add_waiter(self)
+        elif isinstance(target, Process):
+            target.done_event._add_waiter(self)
+        elif isinstance(target, Acquire):
+            target.resource._enqueue(self)
+        else:
+            self._step(exc=SimulationError(f"process {self.name!r} yielded unsupported {target!r}"))
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    trace:
+        Optional callable ``(time, label)`` invoked for every dispatched
+        event; useful when debugging model behaviour.
+    """
+
+    def __init__(self, trace: Optional[Callable[[float, str], None]] = None) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self._trace = trace
+        self._crashed: Optional[BaseException] = None
+
+    # -- scheduling --------------------------------------------------
+    def _schedule(self, time: float, fn: Callable, *args: Any) -> None:
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+        self._seq += 1
+
+    def call_at(self, time: float, fn: Callable, *args: Any) -> None:
+        """Schedule a plain callback at an absolute simulated time."""
+        self._schedule(time, fn, *args)
+
+    def call_after(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Schedule a plain callback ``delay`` seconds from now."""
+        self._schedule(self.now + delay, fn, *args)
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process; it takes its first step at the current time."""
+        proc = Process(self, gen, name=name)
+        self._schedule(self.now, proc._step)
+        return proc
+
+    def spawn_all(self, gens: Iterable[Generator]) -> list[Process]:
+        return [self.spawn(g) for g in gens]
+
+    def _crash(self, exc: BaseException) -> None:
+        if self._crashed is None:
+            self._crashed = exc
+
+    # -- execution ---------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the queue drains or ``until`` is reached.
+
+        Returns the final simulation time.  An exception that escapes a
+        process with no waiter aborts the run and is re-raised here.
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, fn, args = heap[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            heapq.heappop(heap)
+            self.now = time
+            if self._trace is not None:
+                self._trace(time, getattr(fn, "__qualname__", repr(fn)))
+            fn(*args)
+            if self._crashed is not None:
+                exc, self._crashed = self._crashed, None
+                raise exc
+        else:
+            if until is not None and until > self.now:
+                self.now = until
+        return self.now
+
+    def peek(self) -> float:
+        """Time of the next pending event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")

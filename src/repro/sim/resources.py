@@ -1,0 +1,129 @@
+"""Shared resources for simulation processes.
+
+:class:`Resource` models a server with fixed capacity and a FIFO queue —
+the building block for disk heads, NICs, and service threads.
+:class:`Store` is an unbounded FIFO message channel used for request
+queues between simulated components.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.core import Event, Process, SimulationError, Simulator
+
+
+class Grant:
+    """Token returned by an :class:`Acquire`; proof of holding one unit."""
+
+    __slots__ = ("resource", "acquired_at", "released")
+
+    def __init__(self, resource: "Resource", acquired_at: float) -> None:
+        self.resource = resource
+        self.acquired_at = acquired_at
+        self.released = False
+
+
+class Resource:
+    """Capacity-limited resource with FIFO admission.
+
+    Processes request a unit with ``grant = yield Acquire(res)`` and must
+    call ``res.release(grant)`` when done.  Utilization statistics are
+    tracked for reporting.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: Deque[Process] = deque()
+        self._busy_time = 0.0
+        self._last_change = 0.0
+        self.total_grants = 0
+        self.total_wait = 0.0
+        self._enqueue_times: dict[int, float] = {}
+
+    # internal protocol used by Acquire dispatch
+    def _enqueue(self, proc: Process) -> None:
+        self._enqueue_times[id(proc)] = self.sim.now
+        if self.in_use < self.capacity:
+            self._grant(proc)
+        else:
+            self._queue.append(proc)
+
+    def _grant(self, proc: Process) -> None:
+        self._accumulate()
+        self.in_use += 1
+        self.total_grants += 1
+        self.total_wait += self.sim.now - self._enqueue_times.pop(id(proc), self.sim.now)
+        grant = Grant(self, self.sim.now)
+        ev = Event(self.sim, name=f"grant:{self.name}")
+        ev._add_waiter(proc)
+        ev.succeed(grant)
+
+    def release(self, grant: Grant) -> None:
+        if grant.resource is not self:
+            raise SimulationError("grant released on the wrong resource")
+        if grant.released:
+            raise SimulationError("grant released twice")
+        grant.released = True
+        self._accumulate()
+        self.in_use -= 1
+        if self._queue and self.in_use < self.capacity:
+            self._grant(self._queue.popleft())
+
+    def _accumulate(self) -> None:
+        now = self.sim.now
+        self._busy_time += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def utilization(self) -> float:
+        """Time-averaged fraction of capacity in use since t=0."""
+        self._accumulate()
+        if self.sim.now == 0.0:
+            return 0.0
+        return self._busy_time / (self.sim.now * self.capacity)
+
+    def mean_wait(self) -> float:
+        return self.total_wait / self.total_grants if self.total_grants else 0.0
+
+
+class Store:
+    """Unbounded FIFO channel: ``put`` items, processes ``yield store.get()``."""
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_put = 0
+
+    def put(self, item: Any) -> None:
+        self.total_put += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item (FIFO)."""
+        ev = Event(self.sim, name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def peek(self) -> Optional[Any]:
+        return self._items[0] if self._items else None

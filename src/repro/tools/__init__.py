@@ -1,0 +1,7 @@
+"""Command-line tools, mirroring the utilities PDSI released.
+
+* ``python -m repro.tools.fsstats <dir>`` — survey a directory tree
+  fsstats-style (file counts, size distribution, CDF points);
+* ``python -m repro.tools.plfs <cmd> ...`` — inspect PLFS containers:
+  list, stat, analyze (index statistics), flatten.
+"""

@@ -1,0 +1,57 @@
+"""fsstats command-line tool: survey a directory tree at rest.
+
+Usage::
+
+    python -m repro.tools.fsstats <directory> [--cdf-points N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.tracing.fsstats import scan_directory, size_cdf, survey_summary
+
+
+def human(n: float) -> str:
+    for unit in ("B", "K", "M", "G", "T"):
+        if abs(n) < 1024:
+            return f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.1f}P"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fsstats", description="Survey file sizes in a directory tree."
+    )
+    parser.add_argument("directory")
+    parser.add_argument("--cdf-points", type=int, default=8)
+    args = parser.parse_args(argv)
+    sizes = scan_directory(args.directory)
+    if len(sizes) == 0:
+        print(f"{args.directory}: no files found", file=sys.stderr)
+        return 1
+    s = survey_summary(sizes)
+    print(f"survey of {args.directory}")
+    print(f"  files            : {s['files']}")
+    print(f"  total bytes      : {human(s['total_bytes'])}")
+    print(f"  median file size : {human(s['median_bytes'])}")
+    print(f"  mean file size   : {human(s['mean_bytes'])}")
+    print(f"  p90 / p99        : {human(s['p90_bytes'])} / {human(s['p99_bytes'])}")
+    print(f"  files <= 4K      : {s['frac_under_4k']:.0%}")
+    print(f"  bytes in top 1%  : {s['frac_capacity_in_top_1pct']:.0%}")
+    points = np.logspace(
+        0, np.log10(max(float(sizes.max()), 2.0)), args.cdf_points
+    )
+    x, f = size_cdf(sizes, points=points)
+    print("  size CDF:")
+    for xi, fi in zip(x, f):
+        print(f"    <= {human(xi):>8} : {fi:6.1%}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

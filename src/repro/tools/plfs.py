@@ -1,0 +1,114 @@
+"""PLFS container inspection tool.
+
+Usage::
+
+    python -m repro.tools.plfs ls <backing-dir>
+    python -m repro.tools.plfs stat <container>
+    python -m repro.tools.plfs analyze <container>
+    python -m repro.tools.plfs flatten <container> <output-file>
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.plfs.container import Container, is_container
+from repro.plfs.flatten import flatten
+from repro.plfs.index import GlobalIndex, compact_entries, read_index_dropping
+from repro.plfs.indexopt import compression_ratio, detect_patterns
+
+
+def cmd_ls(args) -> int:
+    root = Path(args.path)
+    if not root.is_dir():
+        print(f"{root}: not a directory", file=sys.stderr)
+        return 1
+    found = 0
+    for p in sorted(root.rglob("*")):
+        if p.is_dir() and is_container(p):
+            found += 1
+            print(p.relative_to(root))
+    if not found:
+        print("(no PLFS containers)")
+    return 0
+
+
+def cmd_stat(args) -> int:
+    if not is_container(args.path):
+        print(f"{args.path}: not a PLFS container", file=sys.stderr)
+        return 1
+    c = Container.open(args.path)
+    pairs = [(dp.data_path, dp.index_path) for dp in c.iter_droppings()]
+    gi = GlobalIndex.from_droppings(pairs)
+    fast = c.stat_fast()
+    print(f"container        : {args.path}")
+    print(f"logical size     : {gi.eof}")
+    print(f"bytes mapped     : {gi.covered_bytes()}")
+    print(f"droppings        : {len(pairs)}")
+    print(f"open writers     : {len(c.open_writers())}")
+    print(f"meta-stat usable : {fast is not None}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    if not is_container(args.path):
+        print(f"{args.path}: not a PLFS container", file=sys.stderr)
+        return 1
+    c = Container.open(args.path)
+    total_raw = 0
+    total_compact = 0
+    total_desc = 0
+    for dp in c.iter_droppings():
+        raw = read_index_dropping(dp.index_path)
+        compacted = compact_entries(raw)
+        runs, left = detect_patterns(compacted)
+        total_raw += len(raw)
+        total_compact += len(compacted)
+        total_desc += len(runs) + len(left)
+        print(
+            f"{dp.writer:<16} records={len(raw):<8} compacted={len(compacted):<8}"
+            f" descriptors={len(runs) + len(left)}"
+        )
+    if total_raw:
+        print(
+            f"total: {total_raw} records -> {total_compact} compacted -> "
+            f"{total_desc} pattern descriptors "
+            f"({total_raw / max(total_desc, 1):.0f}x)"
+        )
+    else:
+        print("empty container")
+    return 0
+
+
+def cmd_flatten(args) -> int:
+    try:
+        size = flatten(args.path, args.output)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(f"wrote {size} bytes to {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="plfs", description="Inspect PLFS containers.")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_ls = sub.add_parser("ls", help="list containers under a backing dir")
+    p_ls.add_argument("path")
+    p_stat = sub.add_parser("stat", help="logical size and dropping counts")
+    p_stat.add_argument("path")
+    p_an = sub.add_parser("analyze", help="index statistics per dropping")
+    p_an.add_argument("path")
+    p_fl = sub.add_parser("flatten", help="rewrite a container to a flat file")
+    p_fl.add_argument("path")
+    p_fl.add_argument("output")
+    args = parser.parse_args(argv)
+    return {"ls": cmd_ls, "stat": cmd_stat, "analyze": cmd_analyze, "flatten": cmd_flatten}[
+        args.cmd
+    ](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

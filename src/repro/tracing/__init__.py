@@ -1,0 +1,41 @@
+"""I/O tracing, survey statistics, and visualization data (Figs 1, 3, 15).
+
+The PDSI data-collection thread built tracers (LANL trace library, SNL
+Catamount tracer), survey tools (fsstats), and visualizers (PNNL CVIEW,
+LANL Ninjat).  This package implements working equivalents:
+
+- :mod:`repro.tracing.records` — trace events and an efficient log,
+- :mod:`repro.tracing.tracer`  — wrap PLFS handles to capture real traces,
+  plus synthetic application-trace generation (NWChem/WRF-shaped),
+- :mod:`repro.tracing.cview`   — per-rank/time-bin op & byte matrices
+  (the data behind Fig 1's 3D displays),
+- :mod:`repro.tracing.fsstats` — file-size survey CDFs (Fig 3),
+- :mod:`repro.tracing.ninjat`  — offset×time and wrapped-file rasters of
+  concurrent writes, and a write-pattern classifier (Fig 15).
+"""
+
+from repro.tracing.records import TraceEvent, TraceLog
+from repro.tracing.tracer import TracingWriteHandle, synth_app_trace
+from repro.tracing.cview import cview_bins
+from repro.tracing.fsstats import (
+    FS_PROFILES,
+    size_cdf,
+    survey_summary,
+    synth_file_sizes,
+)
+from repro.tracing.ninjat import classify_pattern, raster_offsets, raster_wrapped
+
+__all__ = [
+    "FS_PROFILES",
+    "TraceEvent",
+    "TraceLog",
+    "TracingWriteHandle",
+    "classify_pattern",
+    "cview_bins",
+    "raster_offsets",
+    "raster_wrapped",
+    "size_cdf",
+    "survey_summary",
+    "synth_app_trace",
+    "synth_file_sizes",
+]

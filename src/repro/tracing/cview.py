@@ -1,0 +1,45 @@
+"""CVIEW-style binning: per-rank, per-time-window op counts and volumes.
+
+PNNL's CVIEW renders a 3D surface of I/O activity: x = time, y = rank,
+z = calls or bytes.  This module produces those matrices from a trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tracing.records import TraceLog
+
+
+def cview_bins(
+    log: TraceLog, n_bins: int = 32, ops: tuple[str, ...] = ("read", "write")
+) -> dict:
+    """Returns {'calls': (ranks, bins) array, 'bytes': ..., 'edges': ...}.
+
+    Rows are ranks (dense 0..max_rank), columns are time bins.
+    """
+    if n_bins < 1:
+        raise ValueError("need at least one bin")
+    cols = log.columns()
+    if len(log) == 0:
+        return {
+            "calls": np.zeros((0, n_bins)),
+            "bytes": np.zeros((0, n_bins)),
+            "edges": np.linspace(0.0, 1.0, n_bins + 1),
+        }
+    mask = np.isin(cols["op"], ops)
+    t = cols["t"][mask]
+    ranks = cols["rank"][mask]
+    nbytes = cols["nbytes"][mask]
+    t0 = cols["t"].min()
+    t1 = cols["t"].max()
+    span = max(t1 - t0, 1e-12)
+    edges = np.linspace(t0, t1, n_bins + 1)
+    n_ranks = int(cols["rank"].max()) + 1
+    calls = np.zeros((n_ranks, n_bins))
+    volume = np.zeros((n_ranks, n_bins))
+    if mask.any():
+        bin_idx = np.minimum(((t - t0) / span * n_bins).astype(int), n_bins - 1)
+        np.add.at(calls, (ranks, bin_idx), 1.0)
+        np.add.at(volume, (ranks, bin_idx), nbytes)
+    return {"calls": calls, "bytes": volume, "edges": edges}

@@ -1,0 +1,18 @@
+"""Explicit-state model checking of storage protocols (report: Simsa,
+Gibson & Bryant, "Formal Verification of Parallel File Systems", 2008).
+
+A tiny systematic-exploration engine: concurrent *processes* are lists of
+atomic operations; :func:`explore` enumerates every interleaving (with
+state hashing to prune revisits), checking an invariant in every reachable
+state and collecting all terminal states.  Used here to verify, for all
+interleavings rather than the sampled ones tests exercise:
+
+* the PLFS index's last-writer-wins semantics are interleaving-independent
+  (timestamps, not arrival order, decide),
+* GIGA+ directory splits and stale-client inserts never lose or misfile an
+  entry.
+"""
+
+from repro.verify.checker import CheckResult, InvariantViolation, explore
+
+__all__ = ["CheckResult", "InvariantViolation", "explore"]

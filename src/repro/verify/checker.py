@@ -1,0 +1,92 @@
+"""Systematic interleaving exploration with state-hash pruning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional, Sequence
+
+Op = Callable[[Any], Any]  # op(state) -> new state (must not mutate input)
+
+
+class InvariantViolation(AssertionError):
+    """An invariant failed in some reachable state; carries the trace."""
+
+    def __init__(self, message: str, trace: list[tuple[int, int]]) -> None:
+        super().__init__(f"{message}; trace (process, step): {trace}")
+        self.trace = trace
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one exploration."""
+
+    states_explored: int
+    interleavings: int            # distinct terminal schedules reached
+    terminal_states: set          # fingerprints of final states
+    max_depth: int
+
+    @property
+    def deterministic_outcome(self) -> bool:
+        """True when every interleaving converges to one final state."""
+        return len(self.terminal_states) == 1
+
+
+def explore(
+    initial: Any,
+    processes: Sequence[Sequence[Op]],
+    fingerprint: Callable[[Any], Hashable],
+    invariant: Optional[Callable[[Any], bool]] = None,
+    max_states: int = 200_000,
+) -> CheckResult:
+    """Run every interleaving of the processes' atomic ops.
+
+    ``fingerprint`` maps a state to a hashable canonical form — used both
+    for pruning (same state + same progress vector need not be revisited)
+    and for collecting terminal states.  ``invariant`` is checked in every
+    reachable state; a violation raises with a minimal trace.
+    """
+    n = len(processes)
+    lengths = tuple(len(p) for p in processes)
+    seen: set[tuple[Hashable, tuple[int, ...]]] = set()
+    terminal: set[Hashable] = set()
+    states = 0
+    interleavings = 0
+    max_depth = 0
+
+    def _check(state: Any, trace: list[tuple[int, int]]) -> None:
+        if invariant is not None and not invariant(state):
+            raise InvariantViolation("invariant violated", list(trace))
+
+    def dfs(state: Any, progress: tuple[int, ...], trace: list[tuple[int, int]]) -> None:
+        nonlocal states, interleavings, max_depth
+        key = (fingerprint(state), progress)
+        if key in seen:
+            return
+        seen.add(key)
+        states += 1
+        if states > max_states:
+            raise RuntimeError(f"state budget ({max_states}) exceeded")
+        max_depth = max(max_depth, len(trace))
+        _check(state, trace)
+        done = True
+        for pid in range(n):
+            step = progress[pid]
+            if step >= lengths[pid]:
+                continue
+            done = False
+            new_state = processes[pid][step](state)
+            new_progress = progress[:pid] + (step + 1,) + progress[pid + 1:]
+            trace.append((pid, step))
+            dfs(new_state, new_progress, trace)
+            trace.pop()
+        if done:
+            interleavings += 1
+            terminal.add(fingerprint(state))
+
+    dfs(initial, tuple(0 for _ in processes), [])
+    return CheckResult(
+        states_explored=states,
+        interleavings=interleavings,
+        terminal_states=terminal,
+        max_depth=max_depth,
+    )

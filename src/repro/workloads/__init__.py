@@ -1,0 +1,51 @@
+"""Workload generators shaped like the applications the report measured.
+
+The PDSI characterization effort (§3.2) traced S3D, FLASH, Chombo, POP,
+GTC, NWChem and others; what matters to the storage system is each code's
+*access pattern* — N-1 strided vs segmented vs N-N, record sizes, and
+alignment.  These generators emit those patterns as plain
+``pattern[rank] = [(logical_offset, nbytes), ...]`` lists consumed by the
+PLFS sim bridge, plus device-level sweeps (IOZone-like) and a metadata
+workload (UCAR Metarates-like) for GIGA+.
+"""
+
+from repro.workloads.patterns import (
+    n1_segmented,
+    n1_strided,
+    nn_private,
+    pattern_bytes,
+    with_jitter,
+)
+from repro.workloads.apps import (
+    APP_CATALOG,
+    AppProfile,
+    app_pattern,
+    chombo_like,
+    flash_like,
+    qcd_like,
+    s3d_like,
+)
+from repro.workloads.s3d import S3DWeakScaling, predict_checkpoint_series
+from repro.workloads.metarates import MetaratesConfig, metarates_ops
+from repro.workloads.iozone import iozone_bandwidth_sweep, iozone_random_iops
+
+__all__ = [
+    "APP_CATALOG",
+    "AppProfile",
+    "MetaratesConfig",
+    "S3DWeakScaling",
+    "app_pattern",
+    "chombo_like",
+    "flash_like",
+    "iozone_bandwidth_sweep",
+    "iozone_random_iops",
+    "metarates_ops",
+    "n1_segmented",
+    "n1_strided",
+    "nn_private",
+    "pattern_bytes",
+    "predict_checkpoint_series",
+    "qcd_like",
+    "s3d_like",
+    "with_jitter",
+]

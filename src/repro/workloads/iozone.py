@@ -1,0 +1,92 @@
+"""IOZone-like device sweeps (Fig 11, Fig 14, Table 1 harness).
+
+These drivers exercise a device model the way NERSC's IOZone runs
+exercised real hardware: sequential bandwidth at large record sizes and
+4 KB random IOPS, for both reads and writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.devices.disk import Disk
+from repro.devices.flash import FlashDevice
+
+Device = Union[Disk, FlashDevice]
+PAGE = 4096
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    device: str
+    seq_read_MBps: float
+    seq_write_MBps: float
+    rand_read_kiops: float
+    rand_write_kiops: float
+
+
+def _rand_offsets(rng: np.random.Generator, span: int, n: int) -> np.ndarray:
+    return (rng.integers(0, max(1, span // PAGE), size=n)) * PAGE
+
+
+def iozone_bandwidth_sweep(device: Device, total_bytes: int = 64 << 20) -> tuple[float, float]:
+    """(sequential read MB/s, sequential write MB/s)."""
+    if isinstance(device, FlashDevice):
+        tr = device.sequential_read(total_bytes)
+        tw = device.sequential_write(total_bytes)
+        return total_bytes / tr / 1e6, total_bytes / tw / 1e6
+    # disk: stream in 1 MB records
+    rec = 1 << 20
+    t = 0.0
+    device.reset_position(0)
+    for i in range(total_bytes // rec):
+        t += device.access(i * rec, rec, write=False)
+    read_bw = total_bytes / t / 1e6
+    device.reset_position(0)
+    t = 0.0
+    for i in range(total_bytes // rec):
+        t += device.access(i * rec, rec, write=True)
+    return read_bw, total_bytes / t / 1e6
+
+
+def iozone_random_iops(
+    device: Device, n_ops: int = 2000, seed: int = 1234
+) -> tuple[float, float]:
+    """(4K random-read kIOPS, 4K random-write kIOPS) on a fresh device."""
+    rng = np.random.default_rng(seed)
+    if isinstance(device, FlashDevice):
+        t = 0.0
+        span = device.params.user_pages
+        for lp in rng.integers(0, span, size=n_ops):
+            t += device.read(int(lp))
+        read_kiops = n_ops / t / 1e3
+        t = 0.0
+        for lp in rng.integers(0, span, size=n_ops):
+            t += device.write(int(lp))
+        return read_kiops, n_ops / t / 1e3
+    span = device.params.capacity_bytes - PAGE
+    t = 0.0
+    for off in _rand_offsets(rng, span, n_ops):
+        t += device.access(int(off), PAGE, write=False)
+    read_kiops = n_ops / t / 1e3
+    t = 0.0
+    for off in _rand_offsets(rng, span, n_ops):
+        t += device.access(int(off), PAGE, write=True)
+    return read_kiops, n_ops / t / 1e3
+
+
+def full_sweep(device: Device, name: str, seq_bytes: int = 64 << 20, iops_ops: int = 2000) -> SweepResult:
+    """Run both sweeps; note random-write IOPS reflects *initial* (fresh)
+    behaviour for flash — sustained behaviour is Fig 14's subject."""
+    r_kiops, w_kiops = iozone_random_iops(device, n_ops=iops_ops)
+    seq_r, seq_w = iozone_bandwidth_sweep(device, total_bytes=seq_bytes)
+    return SweepResult(
+        device=name,
+        seq_read_MBps=seq_r,
+        seq_write_MBps=seq_w,
+        rand_read_kiops=r_kiops,
+        rand_write_kiops=w_kiops,
+    )

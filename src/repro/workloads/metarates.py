@@ -1,0 +1,42 @@
+"""UCAR Metarates-like metadata workload (drives Fig 7 / GIGA+).
+
+Metarates measures aggregate metadata throughput: many clients concurrently
+create (then optionally stat/utime) files in a single shared directory.
+The generator emits per-client operation lists consumed by the GIGA+
+cluster simulator or any directory service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class MetaratesConfig:
+    """``n_clients`` each create ``files_per_client`` files in one dir."""
+
+    n_clients: int = 8
+    files_per_client: int = 1000
+    stat_after_create: bool = False
+    name_prefix: str = "f"
+
+    @property
+    def total_files(self) -> int:
+        return self.n_clients * self.files_per_client
+
+
+def metarates_ops(config: MetaratesConfig) -> list[list[tuple[str, str]]]:
+    """ops[client] = [(op, name), ...] with op in {'create', 'stat'}."""
+    if config.n_clients < 1 or config.files_per_client < 1:
+        raise ValueError("n_clients and files_per_client must be >= 1")
+    out = []
+    for c in range(config.n_clients):
+        ops = []
+        for i in range(config.files_per_client):
+            name = f"{config.name_prefix}.{c}.{i}"
+            ops.append(("create", name))
+            if config.stat_after_create:
+                ops.append(("stat", name))
+        out.append(ops)
+    return out

@@ -1,0 +1,60 @@
+"""Tests for the Active Storage execution model."""
+
+import pytest
+
+from repro.activestorage import ActiveKernel, compare_plans, run_analysis
+from repro.pfs import PFSParams
+
+
+PARAMS = PFSParams(n_servers=8)
+
+
+def test_kernel_validation():
+    with pytest.raises(ValueError):
+        ActiveKernel(reduction=0.5)
+    with pytest.raises(ValueError):
+        ActiveKernel(dataset_bytes=0)
+    with pytest.raises(ValueError):
+        ActiveKernel(client_cpu_Bps=0)
+
+
+def test_unknown_plan_rejected():
+    with pytest.raises(ValueError):
+        run_analysis(ActiveKernel(dataset_bytes=8 << 20), PARAMS, "quantum")
+
+
+def test_active_wins_for_reducing_kernels():
+    """Histogram-style kernels: huge reduction -> active storage avoids
+    moving the dataset and parallelizes the scan."""
+    kernel = ActiveKernel(dataset_bytes=64 << 20, reduction=1000.0)
+    out = compare_plans(kernel, PARAMS)
+    assert out["speedup"] > 2.0
+    assert out["network_saved_frac"] > 0.99
+
+
+def test_client_pull_wins_for_compute_heavy_low_reduction():
+    """A filter with no reduction on slow server CPUs: shipping the data
+    to the fast client is the better plan."""
+    kernel = ActiveKernel(
+        dataset_bytes=64 << 20,
+        reduction=1.0,
+        client_cpu_Bps=20e9,
+        server_cpu_Bps=0.01e9,
+    )
+    out = compare_plans(kernel, PARAMS)
+    assert out["speedup"] < 1.0
+
+
+def test_network_accounting():
+    kernel = ActiveKernel(dataset_bytes=32 << 20, reduction=100.0)
+    pull = run_analysis(kernel, PARAMS, "client-pull")
+    active = run_analysis(kernel, PARAMS, "active")
+    assert pull.network_bytes == 32 << 20
+    assert active.network_bytes < pull.network_bytes / 50
+
+
+def test_more_servers_speed_active_plan():
+    kernel = ActiveKernel(dataset_bytes=64 << 20, reduction=500.0, server_cpu_Bps=0.2e9)
+    few = run_analysis(kernel, PFSParams(n_servers=2), "active")
+    many = run_analysis(kernel, PFSParams(n_servers=16), "active")
+    assert many.makespan_s < few.makespan_s / 3

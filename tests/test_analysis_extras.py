@@ -1,0 +1,119 @@
+"""Tests for the Weibull MLE fit, PPM export, sim-bridge compression,
+and assorted smaller units (h5lite perf, iozone full sweep, dfs edges)."""
+
+import numpy as np
+import pytest
+
+from repro.devices import Disk, device_model
+from repro.dfs import ClusterSpec, GrepJob, HDFSBackend, run_grep
+from repro.failure.analysis import fit_weibull_shape
+from repro.failure.traces import synth_drive_population
+from repro.h5lite import H5PerfConfig, run_h5_write
+from repro.pfs import GPFS_LIKE, LUSTRE_LIKE
+from repro.plfs.simbridge import run_plfs, run_readback
+from repro.tracing import TraceLog, raster_wrapped
+from repro.tracing.records import TraceEvent
+from repro.tracing.ninjat import save_ppm
+from repro.workloads import n1_strided
+from repro.workloads.iozone import full_sweep
+
+
+# ------------------------------------------------------------- weibull fit
+def test_weibull_fit_recovers_increasing_hazard():
+    rng = np.random.default_rng(4)
+    pop = synth_drive_population(
+        "p", n_drives=3000, observe_years=8, rng=rng,
+        weibull_shape=1.4, weibull_scale_years=10.0,
+    )
+    fit = fit_weibull_shape(pop.failure_ages)
+    assert fit["shape"] > 1.1  # increasing hazard, as the report argues
+    assert fit["weibull_advantage"] > 0  # better fit than exponential
+
+
+def test_weibull_fit_needs_data():
+    with pytest.raises(ValueError):
+        fit_weibull_shape(np.array([1.0, 2.0]))
+
+
+def test_weibull_fit_on_exponential_data_near_one():
+    rng = np.random.default_rng(5)
+    ages = rng.exponential(5.0, size=4000)
+    fit = fit_weibull_shape(ages)
+    assert 0.9 < fit["shape"] < 1.1
+
+
+# ------------------------------------------------------------- ppm export
+def _strided_log():
+    log = TraceLog()
+    t = 0.0
+    for s in range(6):
+        for r in range(4):
+            log.add(TraceEvent(t, r, "write", (s * 4 + r) * 50, 50))
+            t += 1.0
+    return log
+
+
+def test_save_ppm_roundtrip_header(tmp_path):
+    img = raster_wrapped(_strided_log(), width=24, height=8)
+    out = tmp_path / "ninjat.ppm"
+    save_ppm(img, out)
+    raw = out.read_bytes()
+    assert raw.startswith(b"P6\n24 8\n255\n")
+    body = raw.split(b"255\n", 1)[1]
+    assert len(body) == 24 * 8 * 3
+
+
+def test_save_ppm_rejects_bad_shape(tmp_path):
+    with pytest.raises(ValueError):
+        save_ppm(np.zeros(10), tmp_path / "x.ppm")
+
+
+def test_save_ppm_distinct_rank_colors(tmp_path):
+    img = raster_wrapped(_strided_log(), width=24, height=1)
+    out = tmp_path / "row.ppm"
+    save_ppm(img, out)
+    body = out.read_bytes().split(b"255\n", 1)[1]
+    pixels = {tuple(body[i:i + 3]) for i in range(0, len(body), 3)}
+    assert len(pixels) >= 4  # four ranks, four colors
+
+
+# ------------------------------------------------------------- compression
+def test_simbridge_compression_speeds_checkpoint():
+    pattern = n1_strided(8, 64 * 1024, 8)
+    plain = run_plfs(LUSTRE_LIKE.with_servers(4), pattern)
+    packed = run_plfs(LUSTRE_LIKE.with_servers(4), pattern, compression_ratio=4.0)
+    assert packed.makespan_s < plain.makespan_s
+    assert packed.total_bytes == plain.total_bytes  # logical bytes unchanged
+
+
+def test_simbridge_compression_validation():
+    with pytest.raises(ValueError):
+        run_plfs(LUSTRE_LIKE, n1_strided(2, 10, 2), compression_ratio=0.5)
+
+
+def test_readback_conserves_bytes():
+    pattern = n1_strided(4, 32 * 1024, 4)
+    res = run_readback(LUSTRE_LIKE.with_servers(4), pattern, via_plfs=True, readers=2)
+    assert res.total_bytes == 4 * 32 * 1024 * 4
+    assert res.makespan_s > 0
+
+
+# ------------------------------------------------------------- small units
+def test_h5lite_perf_single_opt_runs():
+    out = run_h5_write(H5PerfConfig(n_ranks=8, n_datasets=2), GPFS_LIKE.with_servers(2), {"align"})
+    assert out["opts"] == ["align"]
+    assert out["bandwidth_MBps"] > 0
+
+
+def test_iozone_full_sweep_fields():
+    res = full_sweep(device_model("intel-x25m"), "x25m", seq_bytes=8 << 20, iops_ops=200)
+    assert res.device == "x25m"
+    assert res.seq_read_MBps > res.seq_write_MBps
+    assert res.rand_read_kiops > res.rand_write_kiops
+
+
+def test_dfs_single_node_cluster():
+    spec = ClusterSpec(n_nodes=1, chunk_bytes=8 << 20)
+    res = run_grep(GrepJob(n_chunks=4, cpu_s_per_chunk=0.01), HDFSBackend(spec, replication=1))
+    assert res.locality == 1.0
+    assert res.makespan_s > 0

@@ -1,0 +1,177 @@
+"""Tests for the power-aware archive and the burst buffer."""
+
+import numpy as np
+import pytest
+
+from repro.archive import (
+    Archive,
+    ArchiveConfig,
+    ArchiveDiskParams,
+    disk_energy,
+    session_workload,
+)
+from repro.burstbuffer import (
+    BurstBufferConfig,
+    best_utilization,
+    checkpoint_stall_s,
+    min_interval_s,
+    simulate_burst_buffer_run,
+)
+
+
+# ------------------------------------------------------------- disk energy
+def test_idle_disk_sleeps():
+    rep = disk_energy(np.array([]), duration_s=3600.0)
+    p = ArchiveDiskParams()
+    assert rep["total_J"] == pytest.approx(3600.0 * p.standby_w)
+    assert rep["spinups"] == 0
+
+
+def test_single_access_costs_one_spinup():
+    rep = disk_energy(np.array([1000.0]), duration_s=3600.0)
+    assert rep["spinups"] == 1
+    assert rep["active_J"] > 0
+    assert rep["standby_J"] > 0
+
+
+def test_clustered_accesses_cheaper_than_spread():
+    p = ArchiveDiskParams()
+    duration = 7200.0
+    clustered = disk_energy(np.array([100.0, 101, 102, 103, 104]), duration, p)
+    spread = disk_energy(np.array([100.0, 1000, 2000, 3000, 4000]), duration, p)
+    assert clustered["spinups"] == 1
+    assert spread["spinups"] == 5
+    assert clustered["total_J"] < spread["total_J"]
+
+
+def test_disk_energy_validation():
+    with pytest.raises(ValueError):
+        disk_energy(np.array([1.0]), duration_s=0.0)
+    with pytest.raises(ValueError):
+        disk_energy(np.array([-5.0]), duration_s=100.0)
+
+
+# ------------------------------------------------------------- archive
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ArchiveConfig(n_disks=0)
+    with pytest.raises(ValueError):
+        ArchiveConfig(placement="scattered")
+
+
+def test_workload_sessions_group_locality():
+    rng = np.random.default_rng(0)
+    events = session_workload(86400.0, 4.0, 20, 64, rng)
+    assert all(0 <= t <= 86400.0 for t, _, _ in events)
+    kinds = {k for _, _, k in events}
+    assert kinds <= {"read", "stat"}
+
+
+def test_grouped_placement_saves_energy():
+    """UCSC finding (1): semantic grouping lets most disks sleep."""
+    rng = np.random.default_rng(1)
+    events = session_workload(86400.0, 6.0, 30, 64, rng)
+    grouped = Archive(ArchiveConfig(n_disks=16, placement="grouped")).evaluate(events, 86400.0)
+    striped = Archive(ArchiveConfig(n_disks=16, placement="striped")).evaluate(events, 86400.0)
+    assert grouped.total_J < 0.8 * striped.total_J
+    assert grouped.spinups < striped.spinups
+
+
+def test_more_devices_can_save_power():
+    """UCSC finding (2): in a *heterogeneous* archive, utilizing more
+    devices may counter-intuitively save power.
+
+    The study's archive mixes device classes; holding capacity fixed, a
+    larger population of low-power laptop-class drives (Pergamum's
+    design point) beats a small population of high-power 3.5" drives —
+    the grouped workload wakes only a handful of devices either way,
+    while the per-device power scale differs.
+    """
+    rng = np.random.default_rng(2)
+    big_drive = ArchiveDiskParams()  # 8 W active / 5 W idle / 0.8 W standby
+    small_drive = ArchiveDiskParams(
+        active_w=3.0, idle_w=1.6, standby_w=0.1, spinup_w=6.0, spinup_s=4.0
+    )
+    events = session_workload(86400.0, 16.0, 200, 256, rng, stat_fraction=0.0)
+    few_big = Archive(
+        ArchiveConfig(n_disks=8, placement="grouped", n_groups=256, disk=big_drive)
+    ).evaluate(events, 86400.0)
+    many_small = Archive(
+        ArchiveConfig(n_disks=32, placement="grouped", n_groups=256, disk=small_drive)
+    ).evaluate(events, 86400.0)
+    assert many_small.total_J < few_big.total_J
+
+
+def test_low_rate_placement_barely_matters():
+    """UCSC finding (3): at very low request rates everything sleeps."""
+    rng = np.random.default_rng(3)
+    events = session_workload(86400.0, 0.2, 5, 64, rng)
+    grouped = Archive(ArchiveConfig(n_disks=16, placement="grouped")).evaluate(events, 86400.0)
+    striped = Archive(ArchiveConfig(n_disks=16, placement="striped")).evaluate(events, 86400.0)
+    assert abs(grouped.total_J - striped.total_J) / striped.total_J < 0.15
+
+
+def test_nvram_metadata_avoids_spinups():
+    rng = np.random.default_rng(4)
+    events = session_workload(86400.0, 6.0, 30, 64, rng, stat_fraction=0.6)
+    plain = Archive(ArchiveConfig(nvram_metadata=False)).evaluate(events, 86400.0)
+    nvram = Archive(ArchiveConfig(nvram_metadata=True)).evaluate(events, 86400.0)
+    assert nvram.requests < plain.requests
+    assert nvram.total_J <= plain.total_J
+
+
+# ------------------------------------------------------------- burst buffer
+def test_stall_time_ratio():
+    cfg = BurstBufferConfig(bb_write_Bps=10e9, pfs_direct_Bps=1e9)
+    c = 100e9
+    assert checkpoint_stall_s(c, cfg, via_bb=True) == pytest.approx(10.0)
+    assert checkpoint_stall_s(c, cfg, via_bb=False) == pytest.approx(100.0)
+    with pytest.raises(ValueError):
+        checkpoint_stall_s(0, cfg)
+
+
+def test_config_validation_bb():
+    with pytest.raises(ValueError):
+        BurstBufferConfig(bb_write_Bps=0)
+    with pytest.raises(ValueError):
+        BurstBufferConfig(capacity_ckpts=0)
+
+
+def test_bb_improves_utilization():
+    cfg = BurstBufferConfig(bb_write_Bps=10e9, drain_Bps=1e9, pfs_direct_Bps=1e9)
+    mtti = 4 * 3600.0
+    c = 200e9
+    direct = best_utilization(mtti, c, cfg, via_bb=False)
+    bb = best_utilization(mtti, c, cfg, via_bb=True)
+    assert bb["utilization"] > direct["utilization"]
+    assert bb["delta_s"] == pytest.approx(direct["delta_s"] / 10.0)
+
+
+def test_drain_constraint_binds_at_low_mtti():
+    """When failures are frequent, the optimal interval hits the drain
+    floor — the buffer's bandwidth, not the flash, becomes the limit."""
+    cfg = BurstBufferConfig(bb_write_Bps=50e9, drain_Bps=0.5e9, pfs_direct_Bps=0.5e9)
+    c = 200e9
+    tight = best_utilization(600.0, c, cfg, via_bb=True)
+    loose = best_utilization(10 * 86400.0, c, cfg, via_bb=True)
+    assert tight["drain_bound_active"]
+    assert not loose["drain_bound_active"]
+    assert min_interval_s(c, cfg) == pytest.approx(400.0)
+
+
+def test_simulation_agrees_with_model():
+    rng = np.random.default_rng(5)
+    cfg = BurstBufferConfig(bb_write_Bps=10e9, drain_Bps=1e9, pfs_direct_Bps=1e9)
+    mtti, c = 3600.0, 50e9
+    model = best_utilization(mtti, c, cfg, via_bb=True)
+    sim = simulate_burst_buffer_run(40 * 3600.0, mtti, c, cfg, model["tau_s"], rng)
+    assert sim["utilization"] == pytest.approx(model["utilization"], rel=0.15)
+    assert sim["buffer_full_wait_s"] == 0.0  # interval respects the drain bound
+
+
+def test_simulation_buffer_overrun_when_interval_too_small():
+    rng = np.random.default_rng(6)
+    cfg = BurstBufferConfig(bb_write_Bps=50e9, drain_Bps=0.2e9, pfs_direct_Bps=0.2e9, capacity_ckpts=1)
+    c = 100e9  # drain takes 500 s
+    sim = simulate_burst_buffer_run(3600.0 * 4, 1e12, c, cfg, tau_s=100.0, rng=rng)
+    assert sim["buffer_full_wait_s"] > 0.0

@@ -1,0 +1,63 @@
+"""Tests for Argon performance insulation (Fig 10)."""
+
+import pytest
+
+from repro.argon import (
+    RandomWorkload,
+    SequentialWorkload,
+    coscheduling_experiment,
+    shared_fifo,
+    shared_timeslice,
+    standalone_throughput,
+)
+
+
+def test_standalone_sequential_streams():
+    tp = standalone_throughput(SequentialWorkload())
+    assert tp > 60e6  # streaming MB/s
+
+
+def test_standalone_random_is_slow():
+    tp = standalone_throughput(RandomWorkload())
+    assert tp < 2e6  # ~100 IOPS * 4K
+
+
+def test_fifo_sharing_destroys_sequential_efficiency():
+    """Uninsulated: the streamer gets far below its fair share."""
+    res = shared_fifo(SequentialWorkload(), RandomWorkload())
+    assert res["seq_efficiency"] < 0.25
+
+
+def test_timeslicing_restores_sequential_share():
+    """Argon: both jobs get most of their fair share (guard band ~10%)."""
+    res = shared_timeslice(SequentialWorkload(), RandomWorkload(), quantum_s=0.14)
+    assert res["seq_efficiency"] > 0.8
+    assert res["rnd_efficiency"] > 0.8
+
+
+def test_larger_quantum_better_seq_efficiency():
+    small = shared_timeslice(SequentialWorkload(), RandomWorkload(), quantum_s=0.02)
+    large = shared_timeslice(SequentialWorkload(), RandomWorkload(), quantum_s=0.25)
+    assert large["seq_efficiency"] > small["seq_efficiency"]
+
+
+def test_invalid_quantum():
+    with pytest.raises(ValueError):
+        shared_timeslice(SequentialWorkload(), RandomWorkload(), quantum_s=0.0)
+
+
+def test_coscheduled_slices_near_best_case():
+    res = coscheduling_experiment(n_servers=4, coordinated=True)
+    assert res["relative_to_best"] > 0.85  # report: ~90% of best case
+
+
+def test_uncoordinated_slices_much_worse():
+    coord = coscheduling_experiment(n_servers=4, coordinated=True)
+    unco = coscheduling_experiment(n_servers=4, coordinated=False)
+    assert unco["relative_to_best"] < 0.6 * coord["relative_to_best"]
+
+
+def test_uncoordination_penalty_grows_with_servers():
+    u2 = coscheduling_experiment(n_servers=2, coordinated=False, seed=7)
+    u8 = coscheduling_experiment(n_servers=8, coordinated=False, seed=7)
+    assert u8["relative_to_best"] <= u2["relative_to_best"] + 0.05

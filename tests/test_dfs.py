@@ -1,0 +1,67 @@
+"""Tests for the Hadoop/DFS backend study (Fig 12)."""
+
+import pytest
+
+from repro.dfs import ClusterSpec, GrepJob, HDFSBackend, PVFSShimBackend, run_grep
+
+
+SPEC = ClusterSpec(n_nodes=16, chunk_bytes=16 << 20)
+JOB = GrepJob(n_chunks=64, cpu_s_per_chunk=0.05)
+
+
+def test_hdfs_mostly_local():
+    res = run_grep(JOB, HDFSBackend(SPEC))
+    assert res.locality > 0.8
+    assert res.makespan_s > 0
+
+
+def test_naive_shim_twice_as_slow():
+    """Fig 12: simple shim > 2x slower than native HDFS."""
+    hdfs = run_grep(JOB, HDFSBackend(SPEC))
+    naive = run_grep(JOB, PVFSShimBackend(SPEC, readahead_bytes=64 * 1024))
+    assert naive.makespan_s > 2.0 * hdfs.makespan_s
+
+
+def test_readahead_large_improvement():
+    naive = run_grep(JOB, PVFSShimBackend(SPEC, readahead_bytes=64 * 1024))
+    tuned = run_grep(JOB, PVFSShimBackend(SPEC, readahead_bytes=4 << 20))
+    assert tuned.makespan_s < 0.6 * naive.makespan_s
+
+
+def test_layout_exposure_reaches_parity():
+    """Readahead + layout: full speed, like the report's conclusion."""
+    hdfs = run_grep(JOB, HDFSBackend(SPEC))
+    full = run_grep(
+        JOB, PVFSShimBackend(SPEC, readahead_bytes=4 << 20, expose_layout=True)
+    )
+    assert full.makespan_s < 1.25 * hdfs.makespan_s
+    assert full.locality > 0.8
+
+
+def test_monotone_improvement_chain():
+    naive = run_grep(JOB, PVFSShimBackend(SPEC, readahead_bytes=64 * 1024))
+    tuned = run_grep(JOB, PVFSShimBackend(SPEC, readahead_bytes=4 << 20))
+    full = run_grep(JOB, PVFSShimBackend(SPEC, readahead_bytes=4 << 20, expose_layout=True))
+    assert naive.makespan_s > tuned.makespan_s > full.makespan_s
+
+
+def test_replicas_distinct_nodes():
+    b = HDFSBackend(SPEC)
+    for c in range(40):
+        reps = b.replicas_of(c)
+        assert len(reps) == 3
+        assert all(0 <= r < SPEC.n_nodes for r in reps)
+
+
+def test_bad_params():
+    with pytest.raises(ValueError):
+        HDFSBackend(SPEC, replication=0)
+    with pytest.raises(ValueError):
+        PVFSShimBackend(SPEC, readahead_bytes=0)
+
+
+def test_throughput_and_locality_fields():
+    res = run_grep(JOB, HDFSBackend(SPEC))
+    assert res.total_bytes == JOB.n_chunks * SPEC.chunk_bytes
+    assert 0.0 <= res.locality <= 1.0
+    assert res.throughput_MBps > 0

@@ -1,0 +1,77 @@
+"""Tests for peer-comparison fault diagnosis."""
+
+import numpy as np
+import pytest
+
+from repro.diagnosis import (
+    FAULT_KINDS,
+    PeerComparator,
+    evaluate_detector,
+    synth_cluster_metrics,
+)
+
+
+def test_healthy_metrics_comove():
+    rng = np.random.default_rng(0)
+    tr = synth_cluster_metrics(10, 100, rng)
+    cpu = tr.metrics["cpu"]
+    # servers correlate strongly with the cluster mean signal
+    mean = cpu.mean(axis=0)
+    for s in range(10):
+        assert np.corrcoef(cpu[s], mean)[0, 1] > 0.7
+    assert tr.faulty_server is None
+
+
+def test_fault_injection_marks_target():
+    rng = np.random.default_rng(1)
+    tr = synth_cluster_metrics(8, 100, rng, fault="slow-disk", faulty_server=3, fault_start=30)
+    lat = tr.metrics["disk_lat"]
+    healthy = np.delete(lat[:, 60:], 3, axis=0).mean()
+    assert lat[3, 60:].mean() > 3.0 * healthy
+    assert tr.fault_kind == "slow-disk"
+
+
+def test_invalid_cluster_params():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        synth_cluster_metrics(2, 50, rng)
+    with pytest.raises(ValueError):
+        synth_cluster_metrics(5, 50, rng, fault="gremlin")
+
+
+def test_detector_flags_each_fault_kind():
+    det = PeerComparator()
+    for i, fault in enumerate(FAULT_KINDS):
+        rng = np.random.default_rng(100 + i)
+        tr = synth_cluster_metrics(16, 120, rng, fault=fault, faulty_server=5)
+        res = det.analyze(tr)
+        assert res.flagged_server == 5, fault
+
+
+def test_detector_quiet_on_healthy_cluster():
+    det = PeerComparator()
+    for seed in range(5):
+        rng = np.random.default_rng(200 + seed)
+        tr = synth_cluster_metrics(16, 120, rng)
+        assert det.analyze(tr).flagged_server is None
+
+
+def test_detector_param_validation():
+    with pytest.raises(ValueError):
+        PeerComparator(threshold=0)
+    with pytest.raises(ValueError):
+        PeerComparator(persistence=0)
+
+
+def test_evaluation_meets_report_numbers():
+    """Report: >=66% correct identification, essentially no false flags."""
+    stats = evaluate_detector(PeerComparator(), n_trials=24, seed=3)
+    assert stats["true_positive_rate"] >= 0.66
+    assert stats["false_positive_rate"] <= 0.05
+    assert stats["misattributed_rate"] <= 0.1
+
+
+def test_subtle_faults_harder():
+    blatant = evaluate_detector(PeerComparator(), n_trials=15, severity=2.0, seed=7)
+    subtle = evaluate_detector(PeerComparator(), n_trials=15, severity=0.2, seed=7)
+    assert subtle["true_positive_rate"] <= blatant["true_positive_rate"]

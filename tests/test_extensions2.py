@@ -1,0 +1,119 @@
+"""Tests for the second extension wave: GIGA+ readdir, correlated
+failures, and bench results export."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.giga import GigaBitmap, GigaCluster
+from repro.giga.cluster import GigaParams
+from repro.replication import ReplicationConfig, simulate_replicated_run
+from repro.sim import Simulator
+
+
+# ------------------------------------------------------------- giga readdir
+def _populated_cluster(n_files=60, n_servers=4, threshold=10):
+    sim = Simulator()
+    cluster = GigaCluster(sim, GigaParams(n_servers=n_servers, split_threshold=threshold))
+    bm = GigaBitmap()
+
+    def loader():
+        for i in range(n_files):
+            yield from cluster.client_create(bm, f"f{i}")
+
+    sim.spawn(loader())
+    sim.run()
+    return sim, cluster
+
+
+def test_readdir_returns_all_entries():
+    sim, cluster = _populated_cluster()
+    result = {}
+
+    def scanner():
+        names = yield from cluster.client_readdir(GigaBitmap())
+        result["names"] = names
+
+    sim.spawn(scanner())
+    sim.run()
+    assert result["names"] == sorted(f"f{i}" for i in range(60))
+    assert cluster.counters["readdir_pages"] == len(cluster.bitmap)
+
+
+def test_readdir_visits_every_partition():
+    sim, cluster = _populated_cluster(n_files=100, threshold=8)
+    assert len(cluster.bitmap) > 4
+    result = {}
+
+    def scanner():
+        result["names"] = yield from cluster.client_readdir(GigaBitmap())
+
+    sim.spawn(scanner())
+    sim.run()
+    assert len(result["names"]) == 100
+
+
+def test_readdir_takes_time_proportional_to_partitions():
+    sim, cluster = _populated_cluster()
+    t0 = sim.now
+
+    def scanner():
+        yield from cluster.client_readdir(GigaBitmap())
+
+    sim.spawn(scanner())
+    sim.run()
+    elapsed = sim.now - t0
+    min_expected = len(cluster.bitmap) * cluster.params.client_rpc_s
+    assert elapsed >= min_expected
+
+
+# ------------------------------------------------------------- correlated failures
+def test_correlated_prob_validation():
+    with pytest.raises(ValueError):
+        ReplicationConfig(correlated_prob=1.5)
+
+
+def test_correlated_failures_hurt_two_replicas():
+    """With rack-correlated failures, r=2 loses data far more often —
+    the effect that pushes real systems to 3 replicas across racks."""
+    year = 365 * 86400.0
+    base = dict(replicas=2, n_servers=12, server_mttf_s=20 * 86400.0, recover_s=12 * 3600.0)
+    indep = simulate_replicated_run(
+        ReplicationConfig(**base, correlated_prob=0.0), 3 * year, np.random.default_rng(3)
+    )
+    corr = simulate_replicated_run(
+        ReplicationConfig(**base, correlated_prob=0.3), 3 * year, np.random.default_rng(3)
+    )
+    assert corr.data_loss_events > indep.data_loss_events
+    assert corr.availability < indep.availability
+
+
+def test_correlated_single_replica_unchanged():
+    cfg_args = dict(replicas=1, server_mttf_s=10 * 86400.0)
+    a = simulate_replicated_run(
+        ReplicationConfig(**cfg_args, correlated_prob=0.0),
+        365 * 86400.0, np.random.default_rng(5),
+    )
+    b = simulate_replicated_run(
+        ReplicationConfig(**cfg_args, correlated_prob=0.9),
+        365 * 86400.0, np.random.default_rng(5),
+    )
+    assert a.data_loss_events == b.data_loss_events
+
+
+# ------------------------------------------------------------- results export
+def test_print_table_exports_json(tmp_path, capsys, monkeypatch):
+    import benchmarks.conftest as bc
+
+    monkeypatch.setattr(bc, "_RESULTS_DIR", str(tmp_path))
+    bc.print_table("Demo Table: A/B", ["x", "y"], [[1, 2.5], ["z", 0.0001]])
+    files = list(tmp_path.glob("*.json"))
+    assert len(files) == 1
+    payload = json.loads(files[0].read_text())
+    assert payload["title"] == "Demo Table: A/B"
+    assert payload["header"] == ["x", "y"]
+    assert payload["rows"][0] == ["1", "2.50"]
+    out = capsys.readouterr().out
+    assert "Demo Table" in out

@@ -1,0 +1,235 @@
+"""Tests for failure traces, analysis, checkpoint model, and projections."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.failure import (
+    CheckpointModel,
+    MachineTrend,
+    annual_replacement_rates,
+    bathtub_deviation,
+    daly_optimal_interval,
+    datasheet_afr,
+    expected_utilization,
+    fit_interrupts_vs_chips,
+    project_mtti,
+    project_utilization,
+    simulate_checkpoint_run,
+    synth_drive_population,
+    synth_interrupt_trace,
+    utilization_crossing_year,
+)
+from repro.failure.analysis import compare_populations, observed_vs_datasheet
+from repro.failure.checkpoint import daly_first_order, expected_runtime
+from repro.failure.traces import synth_lanl_fleet
+
+
+# ------------------------------------------------------------- traces
+def test_interrupt_trace_rate_matches():
+    rng = np.random.default_rng(0)
+    tr = synth_interrupt_trace("big", n_chips=4096, years=10.0, rng=rng)
+    expected = 0.1 * 4096
+    assert tr.interrupts_per_year == pytest.approx(expected, rel=0.1)
+    assert np.all(np.diff(tr.interrupt_times) >= 0)
+    assert np.all((tr.interrupt_times >= 0) & (tr.interrupt_times <= 10.0))
+
+
+def test_interrupt_trace_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        synth_interrupt_trace("x", 0, 1.0, rng)
+    with pytest.raises(ValueError):
+        synth_interrupt_trace("x", 10, 0.0, rng)
+
+
+def test_drive_population_exposure_consistent():
+    rng = np.random.default_rng(1)
+    pop = synth_drive_population("p", n_drives=500, observe_years=5, rng=rng)
+    # total exposure can't exceed drives * window, and is most of it
+    total = pop.exposure_years.sum()
+    assert total <= 500 * 5 + 1e-6
+    assert total > 0.9 * 500 * 5 * 0.5
+    assert np.all(np.diff(pop.exposure_years) <= 1e-9)  # exposure declines with age
+
+
+def test_drive_population_invalid_params():
+    rng = np.random.default_rng(1)
+    with pytest.raises(ValueError):
+        synth_drive_population("p", 10, 3, rng, weibull_shape=0.0)
+
+
+# ------------------------------------------------------------- analysis
+def test_datasheet_afr_million_hours():
+    afr = datasheet_afr(1.0e6)
+    assert 0.008 < afr < 0.009
+
+
+def test_datasheet_afr_invalid():
+    with pytest.raises(ValueError):
+        datasheet_afr(0.0)
+
+
+def test_no_bathtub_in_synthetic_field_data():
+    """Report: no significant infant mortality; rates grow with age."""
+    rng = np.random.default_rng(7)
+    pop = synth_drive_population("hpc1", n_drives=4000, observe_years=5, rng=rng)
+    arr = annual_replacement_rates(pop)
+    d = bathtub_deviation(arr)
+    assert d["infant_ratio"] < 1.5          # no infant-mortality spike
+    assert d["trend_slope_per_year"] > 0    # rates grow with age
+    assert d["growth_fraction"] >= 0.5
+
+
+def test_observed_arr_exceeds_datasheet():
+    rng = np.random.default_rng(3)
+    pop = synth_drive_population("hpc1", n_drives=2000, observe_years=5, rng=rng)
+    res = observed_vs_datasheet(pop)
+    assert res["ratio"] > 2.0   # report: factors of 2-10
+
+
+def test_enterprise_desktop_similar():
+    rng = np.random.default_rng(5)
+    ent = synth_drive_population("ent", 3000, 5, rng, drive_class="enterprise")
+    desk = synth_drive_population("desk", 3000, 5, rng, drive_class="desktop")
+    cmp_ = compare_populations(ent, desk)
+    assert 0.7 < cmp_["ratio"] < 1.4
+
+
+def test_bathtub_deviation_needs_buckets():
+    with pytest.raises(ValueError):
+        bathtub_deviation(np.array([0.01, 0.02]))
+
+
+# ------------------------------------------------------------- checkpoint model
+def test_expected_runtime_increases_with_failure_rate():
+    slow = expected_runtime(3600.0, mtti_s=3600.0, delta_s=60.0, tau_s=600.0)
+    fast = expected_runtime(3600.0, mtti_s=360000.0, delta_s=60.0, tau_s=600.0)
+    assert slow > fast > 3600.0
+
+
+def test_utilization_bounded():
+    u = expected_utilization(mtti_s=86400.0, delta_s=60.0, tau_s=1200.0)
+    assert 0.0 < u < 1.0
+
+
+def test_daly_first_order_formula():
+    assert daly_first_order(20000.0, 100.0) == pytest.approx(
+        math.sqrt(2 * 100.0 * 20000.0) - 100.0
+    )
+
+
+def test_daly_optimum_beats_neighbors():
+    M, d = 40000.0, 200.0
+    tau = daly_optimal_interval(M, d)
+    u_opt = expected_utilization(M, d, tau)
+    for factor in (0.5, 0.8, 1.25, 2.0):
+        assert u_opt >= expected_utilization(M, d, tau * factor) - 1e-12
+
+
+@given(
+    mtti=st.floats(min_value=1e3, max_value=1e7),
+    delta=st.floats(min_value=1.0, max_value=500.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_daly_optimum_near_first_order_when_delta_small(mtti, delta):
+    """Property: numeric optimum is the argmin; first-order is close when
+    delta << M."""
+    tau_star = daly_optimal_interval(mtti, delta)
+    tau_fo = daly_first_order(mtti, delta)
+    u_star = expected_utilization(mtti, delta, tau_star)
+    u_fo = expected_utilization(mtti, delta, tau_fo)
+    assert u_star >= u_fo - 1e-9
+    if delta < mtti / 100.0:
+        assert u_star - u_fo < 0.02
+
+
+def test_simulation_validates_analytic_model():
+    rng = np.random.default_rng(11)
+    M, d = 5000.0, 100.0
+    tau = daly_optimal_interval(M, d)
+    sim = simulate_checkpoint_run(2_000_00.0, M, d, tau, rng)
+    analytic = expected_utilization(M, d, tau)
+    assert sim["utilization"] == pytest.approx(analytic, rel=0.15)
+    assert sim["failures"] > 0
+
+
+def test_simulation_no_failures_when_mtti_huge():
+    rng = np.random.default_rng(2)
+    out = simulate_checkpoint_run(1000.0, 1e12, 10.0, 500.0, rng)
+    assert out["failures"] == 0
+    assert out["utilization"] > 0.95
+
+
+def test_checkpoint_model_validation():
+    with pytest.raises(ValueError):
+        expected_runtime(1.0, -1.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        expected_runtime(1.0, 1.0, 1.0, 0.0)
+
+
+def test_process_pairs_utilization_capped():
+    m = CheckpointModel(mtti_s=600.0, delta_s=300.0)
+    pp = m.process_pairs_utilization()
+    assert 0.4 < pp <= 0.5
+
+
+# ------------------------------------------------------------- projections
+def test_fit_recovers_slope():
+    rng = np.random.default_rng(0)
+    fleet = synth_lanl_fleet(rng, years=8.0)
+    fit = fit_interrupts_vs_chips(fleet)
+    assert fit["slope_per_chip_year"] == pytest.approx(0.1, rel=0.15)
+    assert fit["r2"] > 0.95
+
+
+def test_fit_needs_two_systems():
+    rng = np.random.default_rng(0)
+    tr = synth_interrupt_trace("x", 100, 1.0, rng)
+    with pytest.raises(ValueError):
+        fit_interrupts_vs_chips([tr])
+
+
+def test_mtti_projection_falls():
+    trend = MachineTrend()
+    years = np.arange(2008, 2021)
+    mtti = project_mtti(trend, years)
+    assert np.all(np.diff(mtti) < 0)
+    # by the exascale era (2018, ~1 EF) MTTI is under an hour
+    assert mtti[-3] < 3600.0
+    assert trend.speed_pflops(2018) == pytest.approx(1024.0)
+
+
+def test_slower_chip_growth_means_faster_mtti_decline():
+    fast_chips = MachineTrend(chip_doubling_months=18.0)
+    slow_chips = MachineTrend(chip_doubling_months=30.0)
+    y = np.array([2018.0])
+    assert project_mtti(slow_chips, y)[0] < project_mtti(fast_chips, y)[0]
+
+
+def test_utilization_declines_and_crosses_half():
+    trend = MachineTrend(chip_doubling_months=24.0)
+    years = np.arange(2008, 2022)
+    util = project_utilization(trend, years, base_delta_s=900.0)
+    assert util[0] > 0.6
+    assert np.all(np.diff(util) <= 1e-9)
+    year = utilization_crossing_year(trend, 0.5, base_delta_s=900.0)
+    assert year is not None and 2010.0 <= year <= 2018.0
+
+
+def test_aggressive_storage_scaling_helps():
+    trend = MachineTrend(chip_doubling_months=24.0)
+    years = np.arange(2008, 2015)
+    bal = project_utilization(trend, years, storage_scaling="balanced")
+    agg = project_utilization(trend, years, storage_scaling="aggressive")
+    disk = project_utilization(trend, years, storage_scaling="disk-only")
+    assert np.all(agg >= bal - 1e-12)
+    assert disk[-1] < bal[-1]
+    assert bal[-1] > 0.0
+
+
+def test_unknown_storage_scaling_rejected():
+    with pytest.raises(ValueError):
+        project_utilization(MachineTrend(), np.array([2010.0]), storage_scaling="magic")

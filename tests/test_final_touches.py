@@ -1,0 +1,75 @@
+"""Tests for the final fidelity touches: ninjat movies, POP/GTC profiles,
+directory stats."""
+
+import numpy as np
+import pytest
+
+from repro.tracing.fsstats import directory_stats
+from repro.tracing.ninjat import movie_frames
+from repro.tracing.records import TraceEvent, TraceLog
+from repro.workloads import APP_CATALOG, app_pattern, pattern_bytes
+
+
+def _strided_log(n_ranks=4, record=50, steps=8):
+    log = TraceLog()
+    t = 0.0
+    for s in range(steps):
+        for r in range(n_ranks):
+            log.add(TraceEvent(t, r, "write", (s * n_ranks + r) * record, record))
+            t += 1.0
+    return log
+
+
+# ------------------------------------------------------------- movie
+def test_movie_frames_accumulate_coverage():
+    log = _strided_log()
+    frames = movie_frames(log, n_frames=4, width=16, height=16)
+    assert len(frames) == 4
+    coverage = [(f > 0).mean() for f in frames]
+    assert all(b >= a for a, b in zip(coverage, coverage[1:]))
+    assert coverage[-1] > coverage[0]
+    # final frame equals the full raster
+    from repro.tracing.ninjat import raster_wrapped
+
+    assert np.array_equal(frames[-1], raster_wrapped(log, width=16, height=16))
+
+
+def test_movie_frames_validation():
+    with pytest.raises(ValueError):
+        movie_frames(_strided_log(), n_frames=0)
+
+
+# ------------------------------------------------------------- app profiles
+def test_pop_gtc_profiles_present():
+    assert "pop" in APP_CATALOG and "gtc" in APP_CATALOG
+    assert APP_CATALOG["pop"].kind == "strided"
+    assert APP_CATALOG["gtc"].kind == "segmented"
+
+
+def test_pop_gtc_patterns_materialize():
+    rng = np.random.default_rng(0)
+    for key in ("pop", "gtc"):
+        profile = APP_CATALOG[key]
+        pat = app_pattern(profile, 8, rng)
+        assert len(pat) == 8
+        assert pattern_bytes(pat) > 0
+
+
+# ------------------------------------------------------------- directory stats
+def test_directory_stats(tmp_path):
+    (tmp_path / "a").write_bytes(b"1")
+    (tmp_path / "d1").mkdir()
+    (tmp_path / "d1" / "b").write_bytes(b"2")
+    (tmp_path / "d1" / "c").write_bytes(b"3")
+    (tmp_path / "d1" / "d2").mkdir()
+    stats = directory_stats(tmp_path)
+    assert stats["directories"] == 3
+    assert stats["max_files_per_dir"] == 2
+    assert stats["empty_dirs"] == 1
+    assert stats["max_depth"] == 2
+
+
+def test_directory_stats_empty(tmp_path):
+    stats = directory_stats(tmp_path)
+    assert stats["directories"] == 1
+    assert stats["mean_files_per_dir"] == 0.0

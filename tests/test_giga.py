@@ -1,0 +1,153 @@
+"""Tests for GIGA+ mapping and cluster simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.giga import GigaBitmap, GigaCluster, MAX_RADIX, hash_name, run_metarates
+from repro.giga.cluster import GigaParams
+from repro.sim import Simulator
+
+
+def test_initial_bitmap_single_partition():
+    b = GigaBitmap()
+    assert 0 in b
+    assert len(b) == 1
+    assert b.partition_of(12345) == 0
+
+
+def test_first_split_routes_by_bit0():
+    b = GigaBitmap()
+    child = b.split(0)
+    assert child == 1
+    assert b.partition_of(0b10) == 0
+    assert b.partition_of(0b11) == 1
+
+
+def test_second_level_split():
+    b = GigaBitmap()
+    b.split(0)       # -> 0,1 at radix 1
+    child = b.split(1)  # 1 splits on bit 1 -> child 3
+    assert child == 3
+    assert b.partition_of(0b01) == 1   # bit1 clear -> stays
+    assert b.partition_of(0b11) == 3   # bit1 set -> child
+    b.check_invariants()
+
+
+def test_split_missing_partition_raises():
+    b = GigaBitmap()
+    with pytest.raises(KeyError):
+        b.split(7)
+
+
+def test_split_radix_limit():
+    b = GigaBitmap()
+    p = 0
+    for _ in range(MAX_RADIX):
+        b.split(p)
+    with pytest.raises(OverflowError):
+        b.split(0)
+
+
+def test_merge_from_stale_replica():
+    auth = GigaBitmap()
+    auth.split(0)
+    auth.split(1)
+    stale = GigaBitmap()
+    assert stale.merge_from(auth) is True
+    assert stale.radix == auth.radix
+    assert stale.merge_from(auth) is False  # idempotent
+
+
+def test_stale_map_addresses_ancestor():
+    """A stale replica maps any hash to an ancestor of the true partition —
+    the property that makes lazy correction safe."""
+    auth = GigaBitmap()
+    stale = auth.copy()
+    for p in (0, 1, 0, 2):
+        auth.split(p)
+    for h in range(256):
+        true = auth.partition_of(h)
+        guess = stale.partition_of(h)
+        # guess must be a prefix-ancestor: clearing top bits of true reaches it
+        t = true
+        while t != guess and t:
+            t &= ~(1 << (t.bit_length() - 1))
+        assert t == guess
+
+
+def test_moves_on_split_partitions_by_radix_bit():
+    b = GigaBitmap()
+    hashes = list(range(16))
+    movers = b.moves_on_split(0, hashes)
+    assert movers == [h for h in hashes if h & 1]
+
+
+@given(st.lists(st.integers(0, 40), min_size=0, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_bitmap_invariants_under_random_splits(split_choices):
+    b = GigaBitmap()
+    for choice in split_choices:
+        parts = b.partitions()
+        target = parts[choice % len(parts)]
+        if b.radix[target] >= MAX_RADIX:
+            continue
+        try:
+            b.split(target)
+        except ValueError:
+            continue
+    b.check_invariants()
+    # every hash maps to exactly one existing partition
+    for h in range(0, 2000, 37):
+        assert b.partition_of(h) in b
+
+
+def test_hash_name_stable_and_spread():
+    assert hash_name("abc") == hash_name("abc")
+    hashes = {hash_name(f"f{i}") & 0xF for i in range(200)}
+    assert len(hashes) > 10  # decent low-bit spread
+
+
+# ------------------------------------------------------------- cluster
+def test_cluster_create_and_lookup():
+    sim = Simulator()
+    cluster = GigaCluster(sim, GigaParams(n_servers=2, split_threshold=5))
+    bm = GigaBitmap()
+
+    def client():
+        for i in range(30):
+            yield from cluster.client_create(bm, f"file{i}")
+
+    sim.spawn(client())
+    sim.run()
+    cluster.check_invariants()
+    assert all(cluster.lookup(f"file{i}") for i in range(30))
+    assert not cluster.lookup("missing")
+    assert cluster.counters["splits"] > 0
+
+
+def test_run_metarates_counts():
+    res = run_metarates(n_servers=4, n_clients=4, files_per_client=100)
+    assert res.total_creates == 400
+    assert res.partitions >= 2
+    assert res.creates_per_s > 0
+    assert res.entries_moved > 0
+
+
+def test_throughput_scales_with_servers():
+    """Fig 7's right panel: creates/sec grows with server count."""
+    r1 = run_metarates(n_servers=1, n_clients=8, files_per_client=150)
+    r8 = run_metarates(n_servers=8, n_clients=8, files_per_client=150)
+    assert r8.creates_per_s > 2.0 * r1.creates_per_s
+
+
+def test_addressing_errors_bounded():
+    """Stale clients are corrected within a few hops, and the error count
+    stays a small fraction of operations (the GIGA+ claim)."""
+    res = run_metarates(n_servers=8, n_clients=8, files_per_client=200)
+    assert res.addressing_errors > 0      # clients did start stale
+    assert res.errors_per_create < 0.3    # but corrections are rare overall
+
+
+def test_single_server_no_addressing_errors():
+    res = run_metarates(n_servers=1, n_clients=4, files_per_client=50)
+    assert res.addressing_errors == 0

@@ -1,0 +1,88 @@
+"""Tests for chunked H5-lite datasets and partial reads."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.h5lite import H5LiteReader, H5LiteWriter
+
+
+def _roundtrip_buf(array, **kw):
+    buf = io.BytesIO()
+    with H5LiteWriter(buf) as w:
+        w.create_dataset("x", array, **kw)
+    buf.seek(0)
+    return H5LiteReader(buf)
+
+
+def test_chunked_roundtrip():
+    a = np.arange(1000, dtype=np.float64)
+    r = _roundtrip_buf(a, chunk_bytes=256)
+    assert r.is_chunked("x")
+    assert np.array_equal(r.read("x"), a)
+
+
+def test_unchunked_not_chunked():
+    r = _roundtrip_buf(np.arange(10))
+    assert not r.is_chunked("x")
+
+
+def test_chunked_partial_read_matches_slice():
+    a = np.arange(512, dtype=np.uint8)
+    r = _roundtrip_buf(a, chunk_bytes=100)
+    raw = r.read_bytes_range("x", 150, 371)
+    assert raw == a.tobytes()[150:371]
+
+
+def test_partial_read_clamps_and_empty():
+    a = np.arange(64, dtype=np.uint8)
+    r = _roundtrip_buf(a, chunk_bytes=16)
+    assert r.read_bytes_range("x", -5, 4) == bytes(range(4))
+    assert r.read_bytes_range("x", 60, 1000) == bytes(range(60, 64))
+    assert r.read_bytes_range("x", 40, 40) == b""
+
+
+def test_chunked_with_alignment():
+    a = np.arange(300, dtype=np.uint8)
+    buf = io.BytesIO()
+    with H5LiteWriter(buf) as w:
+        w.create_dataset("x", a, chunk_bytes=128, align=256)
+    buf.seek(0)
+    r = H5LiteReader(buf)
+    meta = r._entry("x")
+    assert all(off % 256 == 0 for off in meta["chunks"])
+    assert np.array_equal(r.read("x"), a)
+
+
+def test_chunk_bytes_validation():
+    buf = io.BytesIO()
+    with H5LiteWriter(buf) as w:
+        with pytest.raises(ValueError):
+            w.create_dataset("x", np.zeros(4), chunk_bytes=0)
+
+
+def test_empty_chunked_dataset():
+    r = _roundtrip_buf(np.array([], dtype=np.int32), chunk_bytes=64)
+    assert r.read("x").size == 0
+
+
+def test_unchunked_partial_read():
+    a = np.arange(100, dtype=np.uint8)
+    r = _roundtrip_buf(a)
+    assert r.read_bytes_range("x", 10, 20) == bytes(range(10, 20))
+
+
+@given(
+    n=st.integers(1, 400),
+    chunk=st.integers(1, 97),
+    start=st.integers(0, 450),
+    stop=st.integers(0, 450),
+)
+@settings(max_examples=60, deadline=None)
+def test_partial_read_property(n, chunk, start, stop):
+    a = np.random.default_rng(0).integers(0, 256, size=n).astype(np.uint8)
+    r = _roundtrip_buf(a, chunk_bytes=chunk)
+    expect = a.tobytes()[max(0, start):min(stop, n)] if stop > start else b""
+    assert r.read_bytes_range("x", start, stop) == expect

@@ -1,0 +1,79 @@
+"""Tests for the TCP incast model (Fig 9)."""
+
+import numpy as np
+import pytest
+
+from repro.net import ONE_GE, TEN_GE, IncastConfig, simulate_incast, sweep_senders
+
+
+def test_single_sender_no_timeouts():
+    res = simulate_incast(ONE_GE, 1, np.random.default_rng(0))
+    assert res.timeouts == 0
+    # one flow fetching a small SRU is RTT-bound, not line-rate-bound
+    assert res.efficiency(ONE_GE) > 0.3
+
+
+def test_small_fanin_no_collapse():
+    res = simulate_incast(ONE_GE, 4, np.random.default_rng(0))
+    assert res.efficiency(ONE_GE) > 0.4
+    assert res.timeouts == 0
+
+
+def test_goodput_collapse_at_high_fanin():
+    """The Fig 9 signature: goodput falls by >10x past the cliff."""
+    small = simulate_incast(ONE_GE, 4, np.random.default_rng(1))
+    big = simulate_incast(ONE_GE, 64, np.random.default_rng(1))
+    assert big.timeouts > 0
+    assert big.goodput_Bps < small.goodput_Bps / 10.0
+
+
+def test_low_min_rto_restores_goodput():
+    cfg_fixed = IncastConfig(min_rto_s=1e-3)
+    collapsed = simulate_incast(ONE_GE, 64, np.random.default_rng(2))
+    fixed = simulate_incast(cfg_fixed, 64, np.random.default_rng(2))
+    assert fixed.goodput_Bps > 10.0 * collapsed.goodput_Bps
+    assert fixed.efficiency(cfg_fixed) > 0.3
+
+
+def test_jitter_helps_at_extreme_fanin():
+    """10GE, hundreds of senders: randomized low RTO beats fixed low RTO."""
+    fixed = IncastConfig(
+        name="10GE", link_Bps=1250e6, rtt_s=40e-6, buffer_pkts=64,
+        sru_bytes=8 * 1024, min_rto_s=1e-3, rto_jitter=False,
+    )
+    jit = IncastConfig(
+        name="10GE", link_Bps=1250e6, rtt_s=40e-6, buffer_pkts=64,
+        sru_bytes=8 * 1024, min_rto_s=1e-3, rto_jitter=True,
+    )
+    n = 1024
+    g_fixed = simulate_incast(fixed, n, np.random.default_rng(3), n_blocks=5)
+    g_jit = simulate_incast(jit, n, np.random.default_rng(3), n_blocks=5)
+    # synchronized retransmissions collide again and again with a fixed
+    # timeout; randomization de-synchronizes them
+    assert g_jit.repeat_timeouts < 0.8 * g_fixed.repeat_timeouts
+    assert g_jit.goodput_Bps > 1.2 * g_fixed.goodput_Bps
+
+
+def test_sweep_monotone_setup():
+    results = sweep_senders(ONE_GE, [1, 2, 4], n_blocks=5)
+    assert [r.n_servers for r in results] == [1, 2, 4]
+    assert all(r.goodput_Bps > 0 for r in results)
+
+
+def test_bytes_conserved_per_block():
+    cfg = ONE_GE
+    res = simulate_incast(cfg, 8, np.random.default_rng(5), n_blocks=3)
+    sru_pkts = cfg.sru_bytes // cfg.pkt_bytes
+    assert res.goodput_Bps * (res.block_time_s * 3) == pytest.approx(
+        3 * 8 * sru_pkts * cfg.pkt_bytes, rel=1e-9
+    )
+
+
+def test_invalid_server_count():
+    with pytest.raises(ValueError):
+        simulate_incast(ONE_GE, 0, np.random.default_rng(0))
+
+
+def test_configs_exposed():
+    assert ONE_GE.link_Bps < TEN_GE.link_Bps
+    assert ONE_GE.pkts_per_rtt >= 1

@@ -1,0 +1,153 @@
+"""Tests for the PLFS MPI-IO collective adapter and the sim bridge."""
+
+import pytest
+
+from repro.mpi import MPIError, run_spmd
+from repro.pfs import GPFS_LIKE, PANFS_LIKE
+from repro.plfs import Plfs, PlfsMPIIO
+from repro.plfs.simbridge import run_direct_n1, run_plfs, speedup
+
+
+@pytest.fixture
+def fs(tmp_path):
+    return Plfs(tmp_path / "mnt")
+
+
+def test_collective_write_read_roundtrip(fs):
+    n = 4
+    record = 16
+
+    def writer(comm):
+        fh = yield from PlfsMPIIO.open(comm, fs, "/ckpt", "w")
+        payload = bytes([comm.rank + 1]) * record
+        yield from fh.write_at_all(comm.rank * record, payload)
+        yield from fh.close()
+
+    run_spmd(n, writer)
+
+    def reader(comm):
+        fh = yield from PlfsMPIIO.open(comm, fs, "/ckpt", "r")
+        size = yield from fh.size()
+        data = yield from fh.read_at_all(0, size)
+        yield from fh.close()
+        return data
+
+    out = run_spmd(n, reader)
+    expect = b"".join(bytes([r + 1]) * record for r in range(n))
+    assert all(d == expect for d in out)
+
+
+def test_strided_collective_checkpoint(fs):
+    """N-1 strided pattern via write_at_all across several 'timesteps'."""
+    n, record, steps = 3, 10, 4
+
+    def app(comm):
+        fh = yield from PlfsMPIIO.open(comm, fs, "/strided", "w")
+        for s in range(steps):
+            off = (s * comm.size + comm.rank) * record
+            yield from fh.write_at_all(off, bytes([s * 10 + comm.rank]) * record)
+        yield from fh.sync()
+        yield from fh.close()
+
+    run_spmd(n, app)
+    data = fs.read_file("/strided")
+    assert len(data) == n * record * steps
+    for s in range(steps):
+        for r in range(n):
+            off = (s * n + r) * record
+            assert data[off:off + record] == bytes([s * 10 + r]) * record
+
+
+def test_independent_write_at(fs):
+    def app(comm):
+        fh = yield from PlfsMPIIO.open(comm, fs, "/ind", "w")
+        n = yield from fh.write_at(comm.rank * 4, b"abcd")
+        yield from fh.close()
+        return n
+
+    assert run_spmd(2, app) == [4, 4]
+    assert fs.read_file("/ind") == b"abcdabcd"
+
+
+def test_open_mode_mismatch_detected(fs):
+    fs.write_file("/f", b"x")
+
+    def app(comm):
+        mode = "w" if comm.rank == 0 else "r"
+        yield from PlfsMPIIO.open(comm, fs, "/f", mode)
+
+    with pytest.raises(MPIError, match="mismatch"):
+        run_spmd(2, app)
+
+
+def test_bad_mode_rejected(fs):
+    def app(comm):
+        yield from PlfsMPIIO.open(comm, fs, "/f", "a")
+
+    with pytest.raises(ValueError):
+        run_spmd(1, app)
+
+
+def test_write_on_read_handle_guarded(fs):
+    fs.write_file("/f", b"x")
+
+    def app(comm):
+        fh = yield from PlfsMPIIO.open(comm, fs, "/f", "r")
+        try:
+            yield from fh.write_at(0, b"y")
+        except ValueError:
+            yield from fh.close()
+            return "guarded"
+
+    assert run_spmd(1, app) == ["guarded"]
+
+
+def test_size_collective_agrees(fs):
+    def app(comm):
+        fh = yield from PlfsMPIIO.open(comm, fs, "/f", "w")
+        if comm.rank == 1:
+            yield from fh.write_at(100, b"x" * 28)
+        else:
+            yield from fh.write_at(0, b"y")
+        size = yield from fh.size()
+        yield from fh.close()
+        return size
+
+    assert run_spmd(2, app) == [128, 128]
+
+
+# ------------------------------------------------------------- sim bridge
+def strided_pattern(n_ranks, record, steps):
+    return [
+        [((s * n_ranks + r) * record, record) for s in range(steps)]
+        for r in range(n_ranks)
+    ]
+
+
+def test_simbridge_plfs_beats_direct_on_n1_strided():
+    pattern = strided_pattern(n_ranks=16, record=47 * 1024, steps=8)
+    direct, plfs, ratio = speedup(GPFS_LIKE.with_servers(8), pattern)
+    assert direct.total_bytes == plfs.total_bytes
+    assert ratio > 3.0          # order-of-magnitude territory at scale
+    assert plfs.lock_migrations == 0
+    assert direct.lock_migrations > 0
+
+
+def test_simbridge_conserves_bytes():
+    pattern = strided_pattern(4, 1024, 3)
+    r = run_direct_n1(PANFS_LIKE.with_servers(2), pattern)
+    assert r.total_bytes == 4 * 1024 * 3
+    assert r.makespan_s > 0
+    assert r.bandwidth_Bps == pytest.approx(r.total_bytes / r.makespan_s)
+
+
+def test_simbridge_plfs_large_aligned_no_penalty():
+    """For large aligned N-N-friendly writes, PLFS neither helps nor hurts
+    much (within ~2x)."""
+    n_ranks = 8
+    chunk = 4 << 20
+    pattern = [[(r * chunk * 4 + i * chunk, chunk) for i in range(4)] for r in range(n_ranks)]
+    direct = run_direct_n1(PANFS_LIKE.with_servers(8), pattern)
+    plfs = run_plfs(PANFS_LIKE.with_servers(8), pattern)
+    ratio = plfs.bandwidth_Bps / direct.bandwidth_Bps
+    assert 0.5 < ratio < 3.0

@@ -1,0 +1,130 @@
+"""Tests for the pNFS protocol model and the scaling experiment."""
+
+import pytest
+
+from repro.pfs.layout import StripeLayout
+from repro.pnfs import (
+    Layout,
+    LayoutError,
+    LayoutKind,
+    LayoutManager,
+    NFSCluster,
+    run_scaling_experiment,
+)
+from repro.pnfs.server import NFSParams
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def mgr():
+    return LayoutManager(StripeLayout(4, 1 << 16))
+
+
+def test_grant_and_return(mgr):
+    lo = mgr.grant(1, "/f", LayoutKind.FILE)
+    assert mgr.outstanding("/f") == 1
+    mgr.layout_return(lo)
+    assert mgr.outstanding("/f") == 0
+    with pytest.raises(LayoutError):
+        mgr.layout_return(lo)
+
+
+def test_grant_validation(mgr):
+    with pytest.raises(LayoutError):
+        mgr.grant(1, "/f", LayoutKind.FILE, iomode="append")
+    with pytest.raises(LayoutError):
+        mgr.grant(1, "/f", LayoutKind.FILE, offset=-5)
+
+
+def test_layout_covers_ranges(mgr):
+    whole = mgr.grant(1, "/f", LayoutKind.FILE)
+    assert whole.covers(0, 10**9)
+    seg = mgr.grant(1, "/f", LayoutKind.FILE, offset=100, length=50)
+    assert seg.covers(120, 20)
+    assert not seg.covers(90, 20)
+    assert not seg.covers(140, 20)
+
+
+def test_check_io_guards(mgr):
+    ro = mgr.grant(1, "/f", LayoutKind.FILE, iomode="read")
+    mgr.check_io(ro, 0, 100, write=False)
+    with pytest.raises(LayoutError, match="read layout"):
+        mgr.check_io(ro, 0, 100, write=True)
+    seg = mgr.grant(1, "/f", LayoutKind.FILE, offset=0, length=64)
+    with pytest.raises(LayoutError, match="outside"):
+        mgr.check_io(seg, 32, 64, write=True)
+
+
+def test_recall_forces_refetch(mgr):
+    lo = mgr.grant(1, "/f", LayoutKind.FILE)
+    recalled = mgr.recall_file("/f")
+    assert recalled == [lo]
+    with pytest.raises(LayoutError, match="recalled"):
+        mgr.check_io(lo, 0, 10, write=True)
+    assert mgr.recalls == 1
+
+
+def test_commit_semantics(mgr):
+    lo = mgr.grant(1, "/f", LayoutKind.FILE)
+    assert mgr.commit(lo, 4096) == 4096
+    ro = mgr.grant(1, "/f", LayoutKind.FILE, iomode="read")
+    with pytest.raises(LayoutError):
+        mgr.commit(ro, 1)
+
+
+def test_commit_required_by_kind():
+    assert LayoutManager.commit_required(LayoutKind.BLOCK, extended_file=False)
+    assert not LayoutManager.commit_required(LayoutKind.FILE, extended_file=False)
+    assert LayoutManager.commit_required(LayoutKind.FILE, extended_file=True)
+    assert LayoutManager.commit_required(LayoutKind.OBJECT, extended_file=True)
+
+
+def test_servers_for_uses_stripe(mgr):
+    lo = mgr.grant(1, "/f", LayoutKind.FILE)
+    assert lo.servers_for(0, 4 << 16) == [0, 1, 2, 3]
+    assert lo.servers_for(0, 100) == [0]
+
+
+def test_stale_layout_rejected(mgr):
+    lo = mgr.grant(1, "/f", LayoutKind.FILE)
+    mgr.layout_return(lo)
+    with pytest.raises(LayoutError):
+        mgr.check_io(lo, 0, 1, write=False)
+
+
+# ------------------------------------------------------------- data paths
+def test_nfs_write_completes():
+    sim = Simulator()
+    cluster = NFSCluster(sim)
+    sim.spawn(cluster.nfs_write(0, 8 << 20))
+    t = sim.run()
+    assert t > 0
+
+
+def test_pnfs_write_runs_protocol():
+    sim = Simulator()
+    cluster = NFSCluster(sim)
+    sim.spawn(cluster.pnfs_write(0, 8 << 20))
+    sim.run()
+    assert cluster.layouts.grants == 1
+    assert cluster.layouts.commits == 1
+    assert cluster.layouts.outstanding("/f0") == 0  # returned
+
+
+def test_single_client_similar_both_paths():
+    """One client is NIC-bound either way: pNFS shouldn't be slower."""
+    rows = run_scaling_experiment([1], nbytes_per_client=16 << 20)
+    assert rows[0]["pnfs_MBps"] > 0.7 * rows[0]["nfs_MBps"]
+
+
+def test_pnfs_scales_nfs_saturates():
+    """The headline: NFS flatlines at one server NIC; pNFS scales."""
+    rows = run_scaling_experiment([1, 4, 8], nbytes_per_client=16 << 20)
+    nfs = [r["nfs_MBps"] for r in rows]
+    pnfs = [r["pnfs_MBps"] for r in rows]
+    params = NFSParams()
+    # NFS aggregate never exceeds the funnel NIC
+    assert max(nfs) <= params.server_nic_Bps / 1e6 * 1.05
+    # pNFS at 8 clients: several times the NFS ceiling
+    assert pnfs[-1] > 3.0 * nfs[-1]
+    assert rows[-1]["speedup"] > 3.0

@@ -1,0 +1,133 @@
+"""Cross-cutting property-based tests on system invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.erasure import ReedSolomon
+from repro.pfs import PFSParams, SimPFS
+from repro.plfs import Plfs
+from repro.plfs.container import Container
+from repro.plfs.index import GlobalIndex
+from repro.plfs.simbridge import run_direct_n1, run_plfs
+from repro.sim import Simulator
+from repro.workloads import pattern_bytes
+
+
+# ------------------------------------------------------------- SimPFS
+@st.composite
+def write_workloads(draw):
+    n_clients = draw(st.integers(1, 4))
+    ops = []
+    for c in range(n_clients):
+        n_ops = draw(st.integers(1, 5))
+        ops.append(
+            [
+                (draw(st.integers(0, 1 << 22)), draw(st.integers(1, 1 << 18)))
+                for _ in range(n_ops)
+            ]
+        )
+    return ops
+
+
+@given(write_workloads(), st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_pfs_byte_conservation(workload, n_servers):
+    """Bytes a client writes equal bytes landing across the servers."""
+    sim = Simulator()
+    pfs = SimPFS(sim, PFSParams(n_servers=n_servers))
+
+    def client(c, writes):
+        yield from pfs.op_create(c, f"/f{c}")
+        for off, n in writes:
+            yield from pfs.op_write(c, f"/f{c}", off, n)
+
+    for c, writes in enumerate(workload):
+        sim.spawn(client(c, writes))
+    sim.run()
+    expected = sum(n for writes in workload for _, n in writes)
+    assert pfs.counters["bytes_written"] == expected
+    landed = sum(s.counters["bytes_written"] for s in pfs.servers)
+    assert landed == expected
+    # file sizes reflect the furthest write
+    for c, writes in enumerate(workload):
+        assert pfs.lookup(f"/f{c}").size == max(off + n for off, n in writes)
+
+
+@st.composite
+def patterns(draw):
+    n_ranks = draw(st.integers(1, 6))
+    steps = draw(st.integers(1, 4))
+    record = draw(st.integers(1, 1 << 16))
+    kind = draw(st.sampled_from(["strided", "segmented"]))
+    from repro.workloads import n1_segmented, n1_strided
+
+    maker = n1_strided if kind == "strided" else n1_segmented
+    return maker(n_ranks, record, steps)
+
+
+@given(patterns())
+@settings(max_examples=15, deadline=None)
+def test_simbridge_accounting_properties(pattern):
+    """Both schemes move exactly the pattern's bytes; bandwidths positive;
+    PLFS never incurs lock migrations."""
+    params = PFSParams(n_servers=4)
+    d = run_direct_n1(params, pattern)
+    p = run_plfs(params, pattern)
+    assert d.total_bytes == p.total_bytes == pattern_bytes(pattern)
+    assert d.bandwidth_Bps > 0 and p.bandwidth_Bps > 0
+    assert p.lock_migrations == 0
+
+
+# ------------------------------------------------------------- PLFS index
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 400), st.binary(min_size=1, max_size=50)),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_index_compaction_is_semantically_invisible(tmp_path_factory, writes):
+    """Reading with and without index compaction gives identical bytes."""
+    root = tmp_path_factory.mktemp("cmp")
+    fs = Plfs(root)
+    fs.create("/f")
+    with fs.open_write("/f", create=False) as h:
+        for off, data in writes:
+            h.write(data, off)
+    c = Container.open(fs._resolve("/f"))
+    pairs = [(dp.data_path, dp.index_path) for dp in c.iter_droppings()]
+    gi_plain = GlobalIndex.from_droppings(pairs, compact=False)
+    gi_comp = GlobalIndex.from_droppings(pairs, compact=True)
+    assert gi_comp.eof == gi_plain.eof
+    assert gi_comp.n_entries <= gi_plain.n_entries
+    size = gi_plain.eof
+    out_a, out_b = bytearray(size), bytearray(size)
+    files_a, files_b = {}, {}
+    gi_plain.read_into(out_a, 0, files_a)
+    gi_comp.read_into(out_b, 0, files_b)
+    for f in (*files_a.values(), *files_b.values()):
+        f.close()
+    assert out_a == out_b
+
+
+# ------------------------------------------------------------- erasure
+@given(
+    data=st.binary(min_size=1, max_size=200),
+    k=st.integers(2, 5),
+    m=st.integers(1, 3),
+    target=st.integers(0, 7),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=40, deadline=None)
+def test_rs_share_reconstruction_property(data, k, m, target, seed):
+    """Any lost share is rebuilt bit-exactly from any k survivors."""
+    rs = ReedSolomon(k, m)
+    target = target % (k + m)
+    shares = rs.encode(data)
+    rng = np.random.default_rng(seed)
+    others = [i for i in range(k + m) if i != target]
+    keep = sorted(rng.choice(others, size=k, replace=False).tolist())
+    rebuilt = rs.reconstruct_share({i: shares[i] for i in keep}, target, len(data))
+    assert rebuilt == shares[target]

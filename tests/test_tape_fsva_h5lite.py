@@ -1,0 +1,187 @@
+"""Tests for the tape archive model (T2), FSVA (Fig 6), and H5-lite."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.fsva import FsvaConfig, WorkloadMix, relative_overhead, run_workload
+from repro.fsva.model import STREAM_LIKE, UNTAR_LIKE
+from repro.h5lite import (
+    H5LiteReader,
+    H5LiteWriter,
+    H5PerfConfig,
+    OPT_STACK,
+    PlfsFileAdapter,
+    cumulative_optimizations,
+    run_h5_write,
+)
+from repro.h5lite.format import H5LiteError
+from repro.pfs import GPFS_LIKE
+from repro.plfs import Plfs
+from repro.tape import NERSC_GENERATIONS, run_verification_campaign
+
+
+# ------------------------------------------------------------- tape
+def test_campaign_reads_all_tapes():
+    rep = run_verification_campaign()
+    assert rep.tapes_read == sum(g.count for g in NERSC_GENERATIONS)
+    assert rep.tapes_read == 23820
+
+
+def test_enterprise_tape_extremely_reliable():
+    """Report: 99.945% of tapes fully readable; handful of files lost."""
+    rep = run_verification_campaign(rng=np.random.default_rng(1))
+    assert rep.full_readability > 0.998
+    assert 0 < rep.tapes_with_loss < 60
+    assert rep.files_lost < 100
+    assert rep.bytes_lost < 200e9
+
+
+def test_worst_tapes_need_multiple_passes():
+    rep = run_verification_campaign(rng=np.random.default_rng(2))
+    assert 3 <= rep.max_read_passes <= 5
+
+
+def test_appliance_flags_more_than_final_losses():
+    """One-pass appliance reads flag suspects; retries recover most."""
+    rep = run_verification_campaign(rng=np.random.default_rng(3))
+    assert rep.appliance_flagged > rep.tapes_with_loss
+
+
+def test_older_generation_worse():
+    old = NERSC_GENERATIONS[2]
+    new = NERSC_GENERATIONS[0]
+    assert old.bad_probability() > new.bad_probability()
+
+
+# ------------------------------------------------------------- fsva
+def test_native_fastest():
+    for mix in (UNTAR_LIKE, STREAM_LIKE):
+        native = run_workload(mix, "native")
+        naive = run_workload(mix, "fsva-naive")
+        shared = run_workload(mix, "fsva-shared")
+        assert native < shared < naive
+
+
+def test_sharedmem_overhead_small():
+    """FSVA claim: shared-memory transport makes the appliance viable."""
+    for mix in (UNTAR_LIKE, STREAM_LIKE):
+        assert relative_overhead(mix, "fsva-shared") < 0.15
+
+
+def test_naive_overhead_substantial_on_metadata():
+    assert relative_overhead(UNTAR_LIKE, "fsva-naive") > 0.4
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        run_workload(UNTAR_LIKE, "bare-metal")
+
+
+# ------------------------------------------------------------- h5lite format
+def test_h5lite_roundtrip_bytesio():
+    buf = io.BytesIO()
+    a = np.arange(24, dtype=np.float64).reshape(4, 6)
+    b = np.array([1, 2, 3], dtype=np.int32)
+    with H5LiteWriter(buf) as w:
+        w.create_dataset("temps", a, attrs={"units": "K"})
+        w.create_dataset("ids", b)
+    buf.seek(0)
+    with H5LiteReader(buf) as r:
+        assert r.datasets() == ["ids", "temps"]
+        assert np.array_equal(r.read("temps"), a)
+        assert np.array_equal(r.read("ids"), b)
+        assert r.attrs("temps") == {"units": "K"}
+        assert r.shape("temps") == (4, 6)
+
+
+def test_h5lite_roundtrip_real_file(tmp_path):
+    p = str(tmp_path / "out.h5l")
+    with H5LiteWriter(p) as w:
+        w.create_dataset("x", np.ones(10))
+    with H5LiteReader(p) as r:
+        assert np.array_equal(r.read("x"), np.ones(10))
+
+
+def test_h5lite_alignment_pads(tmp_path):
+    buf = io.BytesIO()
+    with H5LiteWriter(buf) as w:
+        w.create_dataset("a", np.zeros(3, dtype=np.uint8), align=256)
+        w.create_dataset("b", np.zeros(3, dtype=np.uint8), align=256)
+    buf.seek(0)
+    with H5LiteReader(buf) as r:
+        assert r._entry("a")["offset"] % 256 == 0
+        assert r._entry("b")["offset"] % 256 == 0
+
+
+def test_h5lite_duplicate_and_missing():
+    buf = io.BytesIO()
+    w = H5LiteWriter(buf)
+    w.create_dataset("x", np.zeros(2))
+    with pytest.raises(H5LiteError):
+        w.create_dataset("x", np.zeros(2))
+    w.close()
+    buf.seek(0)
+    r = H5LiteReader(buf)
+    with pytest.raises(H5LiteError):
+        r.read("missing")
+
+
+def test_h5lite_bad_magic():
+    buf = io.BytesIO(b"NOTHDF" + b"\0" * 100)
+    with pytest.raises(H5LiteError):
+        H5LiteReader(buf)
+
+
+def test_h5lite_closed_writer_guard():
+    buf = io.BytesIO()
+    w = H5LiteWriter(buf)
+    w.close()
+    with pytest.raises(H5LiteError):
+        w.create_dataset("x", np.zeros(1))
+    w.close()  # idempotent
+
+
+def test_h5lite_over_plfs(tmp_path):
+    """The full stack: H5-lite hosted inside a PLFS container."""
+    fs = Plfs(tmp_path / "mnt")
+    fs.create("/sim.h5l")
+    wh = fs.open_write("/sim.h5l", create=False)
+    a = np.linspace(0, 1, 50)
+    with H5LiteWriter(PlfsFileAdapter(write_handle=wh)) as w:
+        w.create_dataset("phi", a, attrs={"step": 12})
+    wh.close()
+    rh = fs.open_read("/sim.h5l")
+    with H5LiteReader(PlfsFileAdapter(read_handle=rh)) as r:
+        assert np.allclose(r.read("phi"), a)
+        assert r.attrs("phi") == {"step": 12}
+
+
+def test_adapter_needs_exactly_one_handle():
+    with pytest.raises(ValueError):
+        PlfsFileAdapter()
+
+
+# ------------------------------------------------------------- h5lite perf
+def test_optimizations_cumulative_improvement():
+    cfg = H5PerfConfig(n_ranks=16, n_datasets=3)
+    series = cumulative_optimizations(cfg, GPFS_LIKE.with_servers(4))
+    assert [s["step"] for s in series] == list(OPT_STACK)
+    times = [s["makespan_s"] for s in series]
+    # each step helps (or at worst is neutral); total gain is large
+    assert times[-1] < times[0] / 4.0
+    for a, b in zip(times, times[1:]):
+        assert b <= a * 1.1
+
+
+def test_unknown_optimization_rejected():
+    with pytest.raises(ValueError):
+        run_h5_write(H5PerfConfig(), GPFS_LIKE, {"magic"})
+
+
+def test_meta_aggregation_reduces_lock_traffic():
+    cfg = H5PerfConfig(n_ranks=16, n_datasets=3)
+    base = run_h5_write(cfg, GPFS_LIKE.with_servers(4), set())
+    meta = run_h5_write(cfg, GPFS_LIKE.with_servers(4), {"meta"})
+    assert meta["lock_migrations"] < base["lock_migrations"]
