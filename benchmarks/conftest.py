@@ -13,8 +13,40 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs as obs_mod
+from repro.obs.report import build_report, write_report
+
 #: set REPRO_RESULTS_DIR to also dump every printed table as JSON
+#: (plus one per-job observability report per bench)
 _RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "")
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-")[:80]
+
+
+@pytest.fixture(autouse=True)
+def job_observability(request):
+    """Attach a metrics registry + tracer to every benchmark run.
+
+    Instrumentation is always on (the overhead is part of what the
+    benches measure); the Darshan-style job report is written next to
+    the printed-table JSON artifacts when ``REPRO_RESULTS_DIR`` is set.
+    """
+    previous = obs_mod.current()
+    o = obs_mod.activate(obs_mod.Observability(name=request.node.name))
+    try:
+        yield o
+    finally:
+        if previous is None:
+            obs_mod.deactivate()
+        else:
+            obs_mod.activate(previous)
+    if _RESULTS_DIR:
+        out = Path(_RESULTS_DIR)
+        out.mkdir(parents=True, exist_ok=True)
+        report = build_report(o, meta={"bench": request.node.name})
+        write_report(report, out / f"{_slug(request.node.name)}.report.json")
 
 
 def print_table(title: str, header: list[str], rows: list[list], widths=None) -> None:

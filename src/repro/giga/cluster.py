@@ -57,7 +57,9 @@ class GigaCluster:
         self.servers = [
             Resource(sim, capacity=1, name=f"mds{i}") for i in range(params.n_servers)
         ]
-        self.counters = Counter()
+        self.counters = Counter(
+            registry=sim.obs.metrics if sim.obs else None, prefix="giga."
+        )
 
     def server_of(self, partition: int) -> int:
         return partition % self.params.n_servers

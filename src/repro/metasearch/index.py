@@ -13,12 +13,12 @@ query touches every record.
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.metasearch.namespace import FileMeta
 from repro.metasearch.query import Query
+from repro.obs import tracer as _obs_tracer
 
 
 @dataclass
@@ -45,12 +45,12 @@ class FlatScanIndex:
         self.records = list(records)
 
     def search(self, query: Query) -> tuple[list[FileMeta], SearchStats]:
-        t0 = time.perf_counter()
-        hits = [f for f in self.records if query.matches(f)]
+        with _obs_tracer().span("metasearch.search", index=self.name) as sp:
+            hits = [f for f in self.records if query.matches(f)]
         return hits, SearchStats(
             results=len(hits),
             records_scanned=len(self.records),
-            wall_s=time.perf_counter() - t0,
+            wall_s=sp.duration,
         )
 
 
@@ -150,22 +150,22 @@ class PartitionedIndex:
 
     # -- queries --------------------------------------------------------
     def search(self, query: Query) -> tuple[list[FileMeta], SearchStats]:
-        t0 = time.perf_counter()
-        hits: list[FileMeta] = []
-        scanned = 0
-        visited = 0
-        for part in self.partitions:
-            if not part.may_match(query):
-                continue
-            visited += 1
-            scanned += len(part.records)
-            hits.extend(f for f in part.records if query.matches(f))
+        with _obs_tracer().span("metasearch.search", index=self.name) as sp:
+            hits: list[FileMeta] = []
+            scanned = 0
+            visited = 0
+            for part in self.partitions:
+                if not part.may_match(query):
+                    continue
+                visited += 1
+                scanned += len(part.records)
+                hits.extend(f for f in part.records if query.matches(f))
         return hits, SearchStats(
             results=len(hits),
             records_scanned=scanned,
             partitions_total=len(self.partitions),
             partitions_visited=visited,
-            wall_s=time.perf_counter() - t0,
+            wall_s=sp.duration,
         )
 
     # -- maintenance ------------------------------------------------------

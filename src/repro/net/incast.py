@@ -25,6 +25,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.obs import current as _current_obs
+
 
 @dataclass(frozen=True)
 class IncastConfig:
@@ -135,13 +137,22 @@ def simulate_incast(
                 cwnd[full_loss] = cfg.init_cwnd
             t += max(cfg.rtt_s, cap * cfg.pkt_time_s)
         total_bytes += n_servers * sru_pkts * cfg.pkt_bytes
-    return IncastResult(
+    result = IncastResult(
         n_servers=n_servers,
         goodput_Bps=total_bytes / t if t > 0 else 0.0,
         timeouts=timeouts,
         block_time_s=t / n_blocks,
         repeat_timeouts=repeat_timeouts,
     )
+    obs = _current_obs()
+    if obs is not None:
+        labels = {"config": cfg.name, "servers": n_servers}
+        m = obs.metrics
+        m.gauge("net.incast.goodput_Bps", **labels).set(result.goodput_Bps)
+        m.counter("net.incast.timeouts", **labels).inc(timeouts)
+        m.counter("net.incast.repeat_timeouts", **labels).inc(repeat_timeouts)
+        m.counter("net.incast.bytes_read", **labels).inc(total_bytes)
+    return result
 
 
 def sweep_senders(

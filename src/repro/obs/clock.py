@@ -1,0 +1,61 @@
+"""Clock implementations behind the observability layer.
+
+Every timestamp in :mod:`repro.obs` comes from a ``Clock`` — an object
+with a single ``now() -> float`` method — so the same instrumentation
+code can run against simulated time, a deterministic logical clock, or
+real wall time.  The default everywhere is :class:`LogicalClock`:
+reports built from it are byte-identical across machines and runs,
+which is the property the per-job reports promise.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a ``now()`` method usable as a span timestamp source."""
+
+    def now(self) -> float: ...
+
+
+class LogicalClock:
+    """Deterministic clock: every ``now()`` call advances by ``step``.
+
+    Durations measured with it count *timestamp draws*, not seconds —
+    meaningless as wall time, but exactly reproducible, which makes job
+    reports diffable across machines.
+    """
+
+    __slots__ = ("_t", "step")
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        self._t = float(start)
+        self.step = float(step)
+
+    def now(self) -> float:
+        self._t += self.step
+        return self._t
+
+
+class MonotonicClock:
+    """Wall-clock time via ``time.perf_counter`` (opt-in, nondeterministic)."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class SimClock:
+    """Reads the current simulated time of a :class:`repro.sim.Simulator`."""
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+
+    def now(self) -> float:
+        return self.sim.now

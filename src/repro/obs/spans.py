@@ -1,0 +1,211 @@
+"""Span-based tracing on simulated (or logical / wall) time.
+
+A :class:`Span` is a named interval with explicit start/end timestamps
+and an optional parent, so traces nest.  Two usage styles:
+
+* synchronous code uses the context manager, which maintains an implicit
+  nesting stack::
+
+      with tracer.span("index.build", droppings=4):
+          ...
+
+* simulation processes interleave, so they pass parents and timestamps
+  explicitly::
+
+      sp = tracer.start("pfs.write", parent=rank_span, at=sim.now)
+      ...
+      sp.finish(at=sim.now)
+
+Span ids are sequential per tracer — deterministic given a deterministic
+schedule — and the JSONL export is sorted-key JSON, so identical runs
+serialize identically.  :meth:`Tracer.to_tracelog` bridges finished
+spans into :class:`repro.tracing.records.TraceLog` so the existing CView
+binning can render span activity per rank.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional, Union
+
+from repro.obs.clock import Clock, LogicalClock
+
+
+class Span:
+    """One traced interval; ``end`` is ``None`` until finished."""
+
+    __slots__ = ("span_id", "name", "start", "end", "parent_id", "attrs", "_clock")
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        start: float,
+        clock: Clock,
+        parent_id: Optional[int] = None,
+        attrs: Optional[dict] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.parent_id = parent_id
+        self.attrs = attrs or {}
+        self._clock = clock
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} not finished")
+        return self.end - self.start
+
+    def finish(self, at: Optional[float] = None) -> "Span":
+        if self.end is not None:
+            raise ValueError(f"span {self.name!r} finished twice")
+        self.end = self._clock.now() if at is None else float(at)
+        if self.end < self.start:
+            raise ValueError(f"span {self.name!r} would end before it starts")
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.span_id,
+            "name": self.name,
+            "t0": self.start,
+            "t1": self.end,
+            "parent": self.parent_id,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration:g}s" if self.finished else "open"
+        return f"Span(#{self.span_id} {self.name} {state})"
+
+
+class _SpanContext:
+    __slots__ = ("tracer", "name", "at", "attrs", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, at: Optional[float], attrs: dict):
+        self.tracer = tracer
+        self.name = name
+        self.at = at
+        self.attrs = attrs
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        parent = self.tracer._stack[-1] if self.tracer._stack else None
+        self.span = self.tracer.start(
+            self.name, parent=parent, at=self.at, **self.attrs
+        )
+        self.tracer._stack.append(self.span)
+        return self.span
+
+    def __exit__(self, *exc) -> None:
+        self.tracer._stack.pop()
+        if self.span is not None and not self.span.finished:
+            self.span.finish()
+
+
+class Tracer:
+    """Factory and container for spans sharing one clock.
+
+    ``retain=False`` still times spans (durations remain readable) but
+    drops them instead of accumulating — for fallback tracers in library
+    code where no report will ever be built.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None, retain: bool = True) -> None:
+        self.clock: Clock = clock if clock is not None else LogicalClock()
+        self.retain = retain
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    def start(
+        self,
+        name: str,
+        parent: Union[Span, int, None] = None,
+        at: Optional[float] = None,
+        **attrs,
+    ) -> Span:
+        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        span = Span(
+            self._next_id,
+            name,
+            self.clock.now() if at is None else float(at),
+            self.clock,
+            parent_id=parent_id,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        if self.retain:
+            self.spans.append(span)
+        return span
+
+    def span(self, name: str, at: Optional[float] = None, **attrs) -> _SpanContext:
+        """Context manager: nests under the innermost open ``span()``."""
+        return _SpanContext(self, name, at, attrs)
+
+    # -- export -------------------------------------------------------
+    def finished_spans(self) -> list[Span]:
+        return [s for s in self.spans if s.finished]
+
+    def export_jsonl(self, fp: IO[str]) -> int:
+        """Write one sorted-key JSON object per finished span; returns count."""
+        n = 0
+        for span in self.finished_spans():
+            fp.write(json.dumps(span.as_dict(), sort_keys=True) + "\n")
+            n += 1
+        return n
+
+    def to_tracelog(self, rank_key: str = "rank"):
+        """Bridge finished spans into a :class:`~repro.tracing.records.TraceLog`.
+
+        A span whose attrs carry ``op`` (a VFS op name) becomes a single
+        :class:`TraceEvent`; any other span becomes an open/close pair at
+        its boundaries, with the span name as the path — enough for CView
+        per-rank binning to render span activity.
+        """
+        from repro.tracing.records import OPS, TraceEvent, TraceLog
+
+        log = TraceLog()
+        for s in self.finished_spans():
+            rank = int(s.attrs.get(rank_key, 0))
+            nbytes = int(s.attrs.get("nbytes", 0))
+            op = s.attrs.get("op")
+            if op in OPS:
+                log.add(TraceEvent(s.start, rank, op, nbytes=nbytes, path=s.name))
+            else:
+                log.add(TraceEvent(s.start, rank, "open", path=s.name))
+                log.add(TraceEvent(s.end, rank, "close", nbytes=nbytes, path=s.name))
+        return log
+
+    # -- summaries ----------------------------------------------------
+    def by_name(self) -> dict[str, dict]:
+        """Per-span-type aggregates over finished spans (sorted by name)."""
+        agg: dict[str, dict] = {}
+        for s in self.finished_spans():
+            row = agg.setdefault(s.name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+            d = s.duration
+            row["count"] += 1
+            row["total_s"] += d
+            if d > row["max_s"]:
+                row["max_s"] = d
+        return {name: agg[name] for name in sorted(agg)}
+
+    def nesting_depth(self) -> int:
+        """Longest chain of distinct span *types* linked parent→child."""
+        by_id = {s.span_id: s for s in self.spans}
+        best = 0
+        for s in self.spans:
+            names = set()
+            cur: Optional[Span] = s
+            while cur is not None:
+                names.add(cur.name)
+                cur = by_id.get(cur.parent_id) if cur.parent_id is not None else None
+            best = max(best, len(names))
+        return best

@@ -48,6 +48,7 @@ class _ServerRequest:
     nbytes: int
     write: bool
     done: Event
+    parent_span: object = None  # obs span of the issuing client op, if any
 
 
 class _StorageServer:
@@ -63,6 +64,16 @@ class _StorageServer:
         self._alloc: dict[tuple[int, int], int] = {}
         self._alloc_next = 0
         self.counters = Counter()
+        obs = sim.obs
+        if obs is not None:
+            m = obs.metrics
+            self._h_service = m.histogram("pfs.server.service_s", server=index)
+            self._c_bytes_w = m.counter("pfs.server.bytes_written", server=index)
+            self._c_bytes_r = m.counter("pfs.server.bytes_read", server=index)
+            self._tracer = obs.tracer
+        else:
+            self._h_service = self._c_bytes_w = self._c_bytes_r = None
+            self._tracer = None
         sim.spawn(self._serve(), name=f"osd{index}")
 
     def _disk_offset(self, file_id: int, server_offset: int) -> int:
@@ -87,7 +98,20 @@ class _StorageServer:
                 t += self.disk.access(off, ext.length, write=req.write)
             self.counters.add("requests")
             self.counters.add("bytes_written" if req.write else "bytes_read", req.nbytes)
+            span = None
+            if self._h_service is not None:
+                self._h_service.observe(t)
+                (self._c_bytes_w if req.write else self._c_bytes_r).inc(req.nbytes)
+                span = self._tracer.start(
+                    "pfs.server.request",
+                    parent=req.parent_span,
+                    at=self.sim.now,
+                    server=self.index,
+                    nbytes=req.nbytes,
+                )
             yield Timeout(t)
+            if span is not None:
+                span.finish(at=self.sim.now)
             req.done.succeed(t)
 
 
@@ -115,7 +139,12 @@ class SimPFS:
         self._files: dict[str, FileHandle] = {}
         self._next_id = 0
         self._client_nics: dict[int, Resource] = {}
-        self.counters = Counter()
+        self.obs = sim.obs
+        self.counters = Counter(
+            registry=self.obs.metrics if self.obs else None, prefix="pfs."
+        )
+        self._c_client_w: dict[int, object] = {}
+        self._c_client_r: dict[int, object] = {}
         # cost of a read-modify-write merge of one lock block (served remotely)
         p = params
         self._rmw_read_s = (
@@ -210,22 +239,40 @@ class SimPFS:
             "lock_granularity": self.params.lock_granularity,
         }
 
+    def _client_counter(self, cache: dict, client: int, name: str):
+        c = cache.get(client)
+        if c is None:
+            c = self.obs.metrics.counter(name, client=client)
+            cache[client] = c
+        return c
+
     # -- data operations ----------------------------------------------------
-    def op_write(self, client: int, path: str, offset: int, nbytes: int):
+    def op_write(self, client: int, path: str, offset: int, nbytes: int, parent_span=None):
         """Write process: locks, client NIC, fan-out to servers, wait all."""
         fh = self.lookup(path)
         p = self.params
         if nbytes <= 0:
             return 0.0
         start = self.sim.now
+        obs = self.obs
+        sp = None
+        if obs is not None:
+            sp = obs.tracer.start(
+                "pfs.write", parent=parent_span, at=start, client=client, nbytes=nbytes
+            )
         # 1. coherence charges — lock migrations serialize through the
         #    file's lock service (DLM conversations are not parallel)
         charge = fh.locks.charge_write(client, offset, nbytes)
         lock_cost = charge.cost_s(p.lock_latency_s, self._rmw_read_s)
         if lock_cost > 0.0:
+            lsp = None
+            if sp is not None:
+                lsp = obs.tracer.start("pfs.lock", parent=sp, at=self.sim.now, client=client)
             dlm = yield Acquire(fh.lock_service)
             yield Timeout(lock_cost)
             fh.lock_service.release(dlm)
+            if lsp is not None:
+                lsp.finish(at=self.sim.now)
         # 2. security attach cost per server request
         exts = self.layout.merged_extents(offset, nbytes, shift=fh.shift)
         by_server: dict[int, list[Extent]] = {}
@@ -235,10 +282,15 @@ class SimPFS:
         if sec:
             yield Timeout(sec)
         # 3. client NIC serialization
+        xsp = None
+        if sp is not None:
+            xsp = obs.tracer.start("pfs.xfer", parent=sp, at=self.sim.now, client=client)
         nic = self._nic(client)
         grant = yield Acquire(nic)
         yield Timeout(nbytes / p.client_nic_Bps)
         nic.release(grant)
+        if xsp is not None:
+            xsp.finish(at=self.sim.now)
         # 4. issue to servers and wait for all
         events = []
         for server, sexts in by_server.items():
@@ -250,6 +302,7 @@ class SimPFS:
                     nbytes=sum(e.length for e in sexts),
                     write=True,
                     done=done,
+                    parent_span=sp,
                 )
             )
             events.append(done)
@@ -257,9 +310,12 @@ class SimPFS:
             yield Wait(ev)
         fh.size = max(fh.size, offset + nbytes)
         self.counters.add("bytes_written", nbytes)
+        if obs is not None:
+            self._client_counter(self._c_client_w, client, "pfs.client.bytes_written").inc(nbytes)
+            sp.finish(at=self.sim.now)
         return self.sim.now - start
 
-    def op_read(self, client: int, path: str, offset: int, nbytes: int):
+    def op_read(self, client: int, path: str, offset: int, nbytes: int, parent_span=None):
         """Read process (no coherence charges for concurrent readers)."""
         fh = self.lookup(path)
         p = self.params
@@ -267,6 +323,12 @@ class SimPFS:
         if nbytes <= 0:
             return 0.0
         start = self.sim.now
+        obs = self.obs
+        sp = None
+        if obs is not None:
+            sp = obs.tracer.start(
+                "pfs.read", parent=parent_span, at=start, client=client, nbytes=nbytes
+            )
         exts = self.layout.merged_extents(offset, nbytes, shift=fh.shift)
         by_server: dict[int, list[Extent]] = {}
         for ext in exts:
@@ -284,16 +346,25 @@ class SimPFS:
                     nbytes=sum(e.length for e in sexts),
                     write=False,
                     done=done,
+                    parent_span=sp,
                 )
             )
             events.append(done)
         for ev in events:
             yield Wait(ev)
+        xsp = None
+        if sp is not None:
+            xsp = obs.tracer.start("pfs.xfer", parent=sp, at=self.sim.now, client=client)
         nic = self._nic(client)
         grant = yield Acquire(nic)
         yield Timeout(nbytes / p.client_nic_Bps)
         nic.release(grant)
+        if xsp is not None:
+            xsp.finish(at=self.sim.now)
         self.counters.add("bytes_read", nbytes)
+        if obs is not None:
+            self._client_counter(self._c_client_r, client, "pfs.client.bytes_read").inc(nbytes)
+            sp.finish(at=self.sim.now)
         return self.sim.now - start
 
     # -- reporting ------------------------------------------------------------

@@ -20,6 +20,7 @@ import zlib
 from pathlib import Path
 from typing import BinaryIO, Optional
 
+from repro.obs import current as _current_obs
 from repro.plfs.container import Container
 from repro.plfs.index import GlobalIndex, pack_entry
 
@@ -84,6 +85,12 @@ class PlfsWriteHandle:
         self._closed = False
         self.writes = 0
         self.data_flushes = 0
+        obs = _current_obs()
+        if obs is not None:
+            self._c_obs_bytes = obs.metrics.counter("plfs.bytes_written", writer=writer)
+            self._c_obs_writes = obs.metrics.counter("plfs.writes", writer=writer)
+        else:
+            self._c_obs_bytes = self._c_obs_writes = None
         container.mark_open(writer)
 
     # -- write path -----------------------------------------------------
@@ -114,6 +121,9 @@ class PlfsWriteHandle:
         self._bytes_written += n
         self._stored_bytes += len(stored)
         self.writes += 1
+        if self._c_obs_bytes is not None:
+            self._c_obs_bytes.value += n
+            self._c_obs_writes.value += 1.0
         return n
 
     def _emit_data(self, stored: bytes) -> None:

@@ -32,6 +32,7 @@ from typing import BinaryIO, Iterable, Sequence
 
 import numpy as np
 
+from repro.obs import current as _current_obs
 from repro.plfs.intervalmap import IntervalMap, Segment
 
 _RECORD = struct.Struct("<qqqqd")
@@ -123,6 +124,10 @@ class GlobalIndex:
 
     def __init__(self, data_paths: Sequence[Path | str], entries: Iterable[IndexEntry]) -> None:
         self.data_paths = [Path(p) for p in data_paths]
+        obs = _current_obs()
+        span = obs.tracer.span("plfs.index.build") if obs is not None else None
+        if span is not None:
+            span.__enter__()
         ordered = sorted(entries, key=lambda e: e.timestamp)
         self.n_entries = 0
         self._map = IntervalMap()
@@ -131,6 +136,14 @@ class GlobalIndex:
                 continue
             self._map.insert(e.logical_offset, e.logical_end, e)
             self.n_entries += 1
+        if obs is not None:
+            obs.metrics.counter("plfs.index.entries_merged").inc(self.n_entries)
+            self._c_lookups = obs.metrics.counter("plfs.index.lookups")
+            self._c_read_bytes = obs.metrics.counter("plfs.index.bytes_mapped")
+            span.span.attrs["entries"] = self.n_entries
+            span.__exit__(None, None, None)
+        else:
+            self._c_lookups = self._c_read_bytes = None
 
     # -- construction ----------------------------------------------------
     @classmethod
@@ -171,6 +184,8 @@ class GlobalIndex:
         ``payload_offset`` locates the segment inside that entry.  Byte
         ranges absent from the result are holes (read as zeros).
         """
+        if self._c_lookups is not None:
+            self._c_lookups.value += 1.0
         return self._map.query(offset, offset + length)
 
     def physical_location(self, segment: Segment) -> tuple[Path, int]:
@@ -225,4 +240,6 @@ class GlobalIndex:
             rel = seg.start - offset
             out[rel:rel + seg.length] = data
             mapped += seg.length
+        if self._c_read_bytes is not None:
+            self._c_read_bytes.value += mapped
         return mapped

@@ -65,15 +65,30 @@ def run_direct_n1(params: PFSParams, pattern: Pattern, path: str = "/ckpt") -> C
     sim.spawn(pfs.op_create(0, path))
     sim.run()
     start = sim.now
+    obs = sim.obs
+    root = (
+        obs.tracer.start("checkpoint.run", at=start, scheme="direct-n1", fs=params.name)
+        if obs is not None
+        else None
+    )
 
     def rank_proc(rank: int, writes):
+        rsp = (
+            obs.tracer.start("checkpoint.rank", parent=root, at=sim.now, rank=rank)
+            if obs is not None
+            else None
+        )
         yield from pfs.op_open(rank, path)
         for offset, nbytes in writes:
-            yield from pfs.op_write(rank, path, offset, nbytes)
+            yield from pfs.op_write(rank, path, offset, nbytes, parent_span=rsp)
+        if rsp is not None:
+            rsp.finish(at=sim.now)
 
     for rank, writes in enumerate(pattern):
         sim.spawn(rank_proc(rank, list(writes)))
     sim.run()
+    if root is not None:
+        root.finish(at=sim.now)
     return CheckpointResult(
         scheme="direct-n1",
         fs_name=params.name,
@@ -108,8 +123,19 @@ def run_plfs(
     sim = Simulator()
     pfs = SimPFS(sim, params)
     start = sim.now
+    obs = sim.obs
+    root = (
+        obs.tracer.start("checkpoint.run", at=start, scheme="plfs", fs=params.name)
+        if obs is not None
+        else None
+    )
 
     def rank_proc(rank: int, writes):
+        rsp = (
+            obs.tracer.start("checkpoint.rank", parent=root, at=sim.now, rank=rank)
+            if obs is not None
+            else None
+        )
         data_path = f"{path}.plfs/hostdir.{rank % 32}/dropping.data.{rank}"
         index_path = f"{path}.plfs/hostdir.{rank % 32}/dropping.index.{rank}"
         yield from pfs.op_create(rank, data_path)
@@ -121,17 +147,21 @@ def run_plfs(
             buf += max(1, int(nbytes / compression_ratio))
             idx_bytes += index_record_bytes
             if buf >= params.write_buffer_bytes:
-                yield from pfs.op_write(rank, data_path, log_off, buf)
+                yield from pfs.op_write(rank, data_path, log_off, buf, parent_span=rsp)
                 log_off += buf
                 buf = 0
         if buf:
-            yield from pfs.op_write(rank, data_path, log_off, buf)
+            yield from pfs.op_write(rank, data_path, log_off, buf, parent_span=rsp)
         if idx_bytes:
-            yield from pfs.op_write(rank, index_path, 0, idx_bytes)
+            yield from pfs.op_write(rank, index_path, 0, idx_bytes, parent_span=rsp)
+        if rsp is not None:
+            rsp.finish(at=sim.now)
 
     for rank, writes in enumerate(pattern):
         sim.spawn(rank_proc(rank, list(writes)))
     sim.run()
+    if root is not None:
+        root.finish(at=sim.now)
     return CheckpointResult(
         scheme="plfs",
         fs_name=params.name,

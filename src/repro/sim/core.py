@@ -10,6 +10,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs import current as _current_obs
+
 
 class SimulationError(RuntimeError):
     """Raised for protocol violations inside the simulation kernel."""
@@ -150,6 +152,8 @@ class Process:
                 target = self.gen.send(value) if self._started else next(self.gen)
                 self._started = True
         except StopIteration as stop:
+            if self.sim._c_finished is not None:
+                self.sim._c_finished.value += 1.0
             self.done_event.succeed(stop.value)
             return
         except BaseException as err:
@@ -186,14 +190,35 @@ class Simulator:
     trace:
         Optional callable ``(time, label)`` invoked for every dispatched
         event; useful when debugging model behaviour.
+    obs:
+        Optional :class:`repro.obs.Observability` bundle; defaults to the
+        globally active one (``repro.obs.current()``).  When set, the
+        kernel counts scheduled/dispatched events and process lifecycle
+        into the bundle's registry, and resources built on this
+        simulator record wait/service histograms.
     """
 
-    def __init__(self, trace: Optional[Callable[[float, str], None]] = None) -> None:
+    def __init__(
+        self,
+        trace: Optional[Callable[[float, str], None]] = None,
+        obs=None,
+    ) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable, tuple]] = []
         self._seq = 0
         self._trace = trace
         self._crashed: Optional[BaseException] = None
+        self.obs = obs if obs is not None else _current_obs()
+        if self.obs is not None:
+            m = self.obs.metrics
+            self._c_scheduled = m.counter("sim.events_scheduled")
+            self._c_dispatched = m.counter("sim.events_dispatched")
+            self._c_spawned = m.counter("sim.processes_spawned")
+            self._c_finished = m.counter("sim.processes_finished")
+            self._g_now = m.gauge("sim.now")
+        else:
+            self._c_scheduled = self._c_dispatched = None
+            self._c_spawned = self._c_finished = self._g_now = None
 
     # -- scheduling --------------------------------------------------
     def _schedule(self, time: float, fn: Callable, *args: Any) -> None:
@@ -201,6 +226,8 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
         heapq.heappush(self._heap, (time, self._seq, fn, args))
         self._seq += 1
+        if self._c_scheduled is not None:
+            self._c_scheduled.value += 1.0
 
     def call_at(self, time: float, fn: Callable, *args: Any) -> None:
         """Schedule a plain callback at an absolute simulated time."""
@@ -217,6 +244,8 @@ class Simulator:
         """Start a new process; it takes its first step at the current time."""
         proc = Process(self, gen, name=name)
         self._schedule(self.now, proc._step)
+        if self._c_spawned is not None:
+            self._c_spawned.value += 1.0
         return proc
 
     def spawn_all(self, gens: Iterable[Generator]) -> list[Process]:
@@ -234,6 +263,7 @@ class Simulator:
         process with no waiter aborts the run and is re-raised here.
         """
         heap = self._heap
+        dispatched = self._c_dispatched
         while heap:
             time, _seq, fn, args = heap[0]
             if until is not None and time > until:
@@ -243,6 +273,8 @@ class Simulator:
             self.now = time
             if self._trace is not None:
                 self._trace(time, getattr(fn, "__qualname__", repr(fn)))
+            if dispatched is not None:
+                dispatched.value += 1.0
             fn(*args)
             if self._crashed is not None:
                 exc, self._crashed = self._crashed, None
@@ -250,6 +282,8 @@ class Simulator:
         else:
             if until is not None and until > self.now:
                 self.now = until
+        if self._g_now is not None:
+            self._g_now.set(self.now)
         return self.now
 
     def peek(self) -> float:

@@ -46,6 +46,15 @@ class Resource:
         self.total_grants = 0
         self.total_wait = 0.0
         self._enqueue_times: dict[int, float] = {}
+        obs = getattr(sim, "obs", None)
+        if obs is not None:
+            label = name or "anon"
+            self._h_wait = obs.metrics.histogram("sim.resource.wait_s", resource=label)
+            self._h_service = obs.metrics.histogram(
+                "sim.resource.service_s", resource=label
+            )
+        else:
+            self._h_wait = self._h_service = None
 
     # internal protocol used by Acquire dispatch
     def _enqueue(self, proc: Process) -> None:
@@ -59,7 +68,10 @@ class Resource:
         self._accumulate()
         self.in_use += 1
         self.total_grants += 1
-        self.total_wait += self.sim.now - self._enqueue_times.pop(id(proc), self.sim.now)
+        wait = self.sim.now - self._enqueue_times.pop(id(proc), self.sim.now)
+        self.total_wait += wait
+        if self._h_wait is not None:
+            self._h_wait.observe(wait)
         grant = Grant(self, self.sim.now)
         ev = Event(self.sim, name=f"grant:{self.name}")
         ev._add_waiter(proc)
@@ -71,6 +83,8 @@ class Resource:
         if grant.released:
             raise SimulationError("grant released twice")
         grant.released = True
+        if self._h_service is not None:
+            self._h_service.observe(self.sim.now - grant.acquired_at)
         self._accumulate()
         self.in_use -= 1
         if self._queue and self.in_use < self.capacity:

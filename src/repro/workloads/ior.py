@@ -11,10 +11,10 @@ optionally re-reads and verifies rank-stamped data.  Two back ends:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.mpi import run_spmd
+from repro.obs import tracer as _obs_tracer
 from repro.pfs.params import PFSParams
 from repro.plfs.mpiio import PlfsMPIIO
 from repro.plfs.simbridge import CheckpointResult, run_direct_n1, run_plfs
@@ -79,8 +79,16 @@ class IORResult:
 
 
 def run_ior_real(config: IORConfig, plfs: Plfs, path: str = "/ior.out") -> IORResult:
-    """Execute the benchmark on real PLFS containers; verify contents."""
+    """Execute the benchmark on real PLFS containers; verify contents.
+
+    Phase timing goes through the observability span API: with an active
+    :class:`repro.obs.Observability` the phases are recorded on the job's
+    clock (deterministic by default, so benchmark JSON reproduces across
+    machines); without one, a wall-clock fallback tracer preserves the
+    old ``perf_counter`` semantics.
+    """
     offsets = [config.offsets(r) for r in range(config.n_ranks)]
+    tracer = _obs_tracer()
 
     def writer(comm):
         fh = yield from PlfsMPIIO.open(comm, plfs, path, "w")
@@ -88,11 +96,10 @@ def run_ior_real(config: IORConfig, plfs: Plfs, path: str = "/ior.out") -> IORRe
             yield from fh.write_at_all(off, config.stamp(comm.rank, i))
         yield from fh.close()
 
-    t0 = time.perf_counter()
-    run_spmd(config.n_ranks, writer)
-    write_s = time.perf_counter() - t0
-
-    verified = True
+    with tracer.span(
+        "ior.write_phase", ranks=config.n_ranks, pattern=config.pattern
+    ) as wsp:
+        run_spmd(config.n_ranks, writer)
 
     def reader(comm):
         nonlocal_ok = True
@@ -104,11 +111,14 @@ def run_ior_real(config: IORConfig, plfs: Plfs, path: str = "/ior.out") -> IORRe
         yield from fh.close()
         return nonlocal_ok
 
-    t0 = time.perf_counter()
-    oks = run_spmd(config.n_ranks, reader)
-    read_s = time.perf_counter() - t0
+    with tracer.span(
+        "ior.read_phase", ranks=config.n_ranks, pattern=config.pattern
+    ) as rsp:
+        oks = run_spmd(config.n_ranks, reader)
     verified = all(oks)
-    return IORResult(config=config, write_s=write_s, read_s=read_s, verified=verified)
+    return IORResult(
+        config=config, write_s=wsp.duration, read_s=rsp.duration, verified=verified
+    )
 
 
 def run_ior_sim(
