@@ -11,7 +11,7 @@ from benchmarks.conftest import print_table
 from repro.plfs import Plfs
 from repro.plfs.container import Container
 from repro.plfs.filehandle import WriteClock
-from repro.plfs.indexopt import compression_ratio, detect_patterns
+from repro.plfs.indexopt import detect_patterns
 from repro.plfs.index import read_index_dropping, compact_entries
 from repro.plfs.smallfile import SmallFileReader, SmallFileWriter, backing_file_count
 

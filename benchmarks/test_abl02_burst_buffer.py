@@ -5,7 +5,6 @@ back?  The buffer shrinks the app-visible dump time by bb/pfs bandwidth
 ratio, but the checkpoint interval can't drop below the drain time.
 """
 
-import numpy as np
 
 from benchmarks.conftest import print_table
 from repro.burstbuffer import BurstBufferConfig, best_utilization

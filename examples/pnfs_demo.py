@@ -8,10 +8,9 @@ client counts for both data paths.
 Run:  python examples/pnfs_demo.py
 """
 
-from repro.pnfs import LayoutKind, LayoutManager, NFSCluster, run_scaling_experiment
+from repro.pnfs import LayoutKind, LayoutManager, run_scaling_experiment
 from repro.pnfs.server import NFSParams
 from repro.pfs.layout import StripeLayout
-from repro.sim import Simulator
 
 
 def protocol_walkthrough() -> None:

@@ -22,8 +22,7 @@ device in :mod:`repro.devices.catalog` to match the report's Table 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,7 +9,6 @@ coding (200% overhead -> ~25-40%).
 
 from __future__ import annotations
 
-import math
 
 
 def _check(mttf_h: float, mttr_h: float) -> None:

@@ -11,7 +11,7 @@ busies only the one server involved plus the insert that triggered it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.giga.mapping import GigaBitmap, hash_name
 from repro.sim import Acquire, Resource, Simulator, Timeout

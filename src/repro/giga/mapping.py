@@ -17,7 +17,7 @@ existing partition consistent with the hash.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Optional
+from typing import Iterable
 
 MAX_RADIX = 20  # up to ~1M partitions
 

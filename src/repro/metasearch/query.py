@@ -11,7 +11,7 @@ Supported attributes: ``owner`` (int, =), ``ext`` (str, =), ``project``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.metasearch.namespace import FileMeta

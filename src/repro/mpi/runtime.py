@@ -16,7 +16,7 @@ from __future__ import annotations
 import functools
 import operator
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional, Sequence
 
 

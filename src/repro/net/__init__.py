@@ -1,5 +1,15 @@
-"""Cluster network models: the TCP incast pathology and its fix (Fig 9)."""
+"""Cluster network models: the shared link/switch/topology fabric and the
+TCP incast pathology (Fig 9), now a thin configuration of that fabric."""
 
+from repro.net.fabric import (
+    FabricParams,
+    FaninResult,
+    IDEAL_FABRIC,
+    Link,
+    SwitchPort,
+    Topology,
+    synchronized_fanin,
+)
 from repro.net.incast import (
     IncastConfig,
     IncastResult,
@@ -10,10 +20,17 @@ from repro.net.incast import (
 )
 
 __all__ = [
+    "FabricParams",
+    "FaninResult",
+    "IDEAL_FABRIC",
     "IncastConfig",
     "IncastResult",
+    "Link",
     "ONE_GE",
+    "SwitchPort",
     "TEN_GE",
+    "Topology",
     "simulate_incast",
     "sweep_senders",
+    "synchronized_fanin",
 ]

@@ -1,0 +1,462 @@
+"""Shared network fabric: links, switch ports, and topologies.
+
+The PDSI report treats the network as a first-class part of the storage
+stack — its incast study (Phanishayee et al., FAST'08) shows *switch
+output-buffer overflow*, not disks, capping striped-read goodput.  This
+module is the one place the reproduction models that network:
+
+* :class:`Link` — a point-to-point link, fixed latency plus
+  serialization at bandwidth;
+* :class:`FabricParams` — the congestion knobs every consumer shares:
+  packet size, per-port output-buffer depth, RTT, minimum RTO (with
+  optional jitter), and TCP-ish window limits.  ``buffer_pkts=None`` is
+  the degenerate **ideal** fabric: infinite buffers, no contention —
+  pure latency+bandwidth arithmetic, bit-stable with the historical
+  inline NIC math;
+* :class:`SwitchPort` — one switch output port: a link plus a finite
+  shared output buffer, with drop/timeout/window semantics generalized
+  from the incast model and per-port ``repro.obs`` metrics
+  (drops, timeouts, retransmits, occupancy, bytes);
+* :class:`Topology` — client NICs → switch → server NICs, driven as
+  :class:`repro.sim.Simulator` processes.  Used by
+  :class:`repro.pfs.SimPFS` for every client→server request and
+  server→client reply;
+* :func:`synchronized_fanin` — the round-based engine behind the
+  incast reproduction (one round = one RTT), now a fabric primitive so
+  ``repro.net.incast`` is a thin configuration of it.
+
+Two drive modes share the same :class:`SwitchPort` semantics:
+
+=============  =======================================================
+process mode   :meth:`Topology.to_server` / :meth:`Topology.to_client`
+               are generators; admitted packets occupy the port buffer
+               until the port's link (a capacity-1 resource) drains
+               them; a flow finding the buffer full suffers a full-
+               window loss and sits out a (min-)RTO before retrying.
+round mode     :func:`synchronized_fanin` advances whole RTT rounds
+               with vectorized window/drop/RTO bookkeeping — exactly
+               the published incast model.
+=============  =======================================================
+
+All randomness (drop selection, RTO jitter) flows through an explicit
+``numpy.random.Generator`` so two same-seed runs are identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim import Acquire, Resource, Simulator, Timeout
+
+#: Occupancy histogram bucket edges (packets queued at a port).
+OCCUPANCY_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point link: fixed latency plus serialization at bandwidth."""
+
+    bandwidth_Bps: float
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_Bps <= 0:
+            raise ValueError(f"link bandwidth must be > 0, got {self.bandwidth_Bps}")
+        if self.latency_s < 0:
+            raise ValueError(f"link latency must be >= 0, got {self.latency_s}")
+
+    def transfer_s(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` across this link, uncontended."""
+        if math.isinf(self.bandwidth_Bps):
+            return self.latency_s
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+
+@dataclass(frozen=True)
+class FabricParams:
+    """Congestion knobs shared by every fabric consumer.
+
+    ``buffer_pkts=None`` selects the **ideal** fabric — infinite
+    buffers, no contention — under which :class:`Topology` reproduces
+    plain ``latency + nbytes/bandwidth`` arithmetic exactly.
+    """
+
+    name: str = "ideal"
+    buffer_pkts: Optional[int] = None    # per-port output buffer; None = infinite
+    pkt_bytes: int = 1500
+    rtt_s: float = 100e-6
+    min_rto_s: float = 0.2               # the historical 200 ms minimum
+    rto_jitter: bool = False             # randomize the timeout
+    init_cwnd: int = 2
+    max_cwnd: int = 64
+    seed: int = 42                       # drop sampling + RTO jitter
+
+    def __post_init__(self) -> None:
+        if self.buffer_pkts is not None and self.buffer_pkts < 1:
+            raise ValueError(f"buffer_pkts must be >= 1 (or None), got {self.buffer_pkts}")
+        if self.pkt_bytes < 1:
+            raise ValueError(f"pkt_bytes must be >= 1, got {self.pkt_bytes}")
+        if self.init_cwnd < 1 or self.max_cwnd < self.init_cwnd:
+            raise ValueError("need 1 <= init_cwnd <= max_cwnd")
+
+    @property
+    def ideal(self) -> bool:
+        return self.buffer_pkts is None
+
+    def rto_s(self, rng: Optional[np.random.Generator] = None) -> float:
+        """One retransmission timeout; jittered through ``rng`` if enabled."""
+        base = max(self.min_rto_s, 2.0 * self.rtt_s)
+        if self.rto_jitter and rng is not None:
+            return base * (0.5 + float(rng.random()))
+        return base
+
+
+#: The degenerate no-contention configuration (the pre-fabric behaviour).
+IDEAL_FABRIC = FabricParams()
+
+
+class SwitchPort:
+    """One switch output port: a link plus a finite shared output buffer.
+
+    Tracks occupancy (packets admitted but not yet drained) and exposes
+    per-port ``repro.obs`` metrics.  With ``sim`` given, the port also
+    owns a capacity-1 :class:`~repro.sim.Resource` modelling the output
+    link, so process-mode transfers serialize through it; without a
+    simulator the port is a pure accounting object for the round-based
+    engine.
+    """
+
+    def __init__(
+        self,
+        link: Link,
+        fabric: FabricParams,
+        sim: Optional[Simulator] = None,
+        obs=None,
+        name: str = "port",
+    ) -> None:
+        self.link = link
+        self.fabric = fabric
+        self.name = name
+        self.occupancy_pkts = 0
+        self.res: Optional[Resource] = (
+            Resource(sim, capacity=1, name=f"{name}.link") if sim is not None else None
+        )
+        if obs is not None:
+            m = obs.metrics
+            self._c_drops = m.counter("net.fabric.drops_pkts", port=name)
+            self._c_timeouts = m.counter("net.fabric.timeouts", port=name)
+            self._c_retransmits = m.counter("net.fabric.retransmits", port=name)
+            self._c_bytes = m.counter("net.fabric.bytes", port=name)
+            self._g_occupancy = m.gauge("net.fabric.occupancy_pkts", port=name)
+            self._h_occupancy = m.histogram(
+                "net.fabric.occupancy_pkts.hist", buckets=OCCUPANCY_BUCKETS, port=name
+            )
+        else:
+            self._c_drops = self._c_timeouts = self._c_retransmits = None
+            self._c_bytes = self._g_occupancy = self._h_occupancy = None
+
+    # -- geometry ------------------------------------------------------
+    @property
+    def pkt_time_s(self) -> float:
+        return self.fabric.pkt_bytes / self.link.bandwidth_Bps
+
+    @property
+    def pkts_per_rtt(self) -> int:
+        return max(1, int(self.fabric.rtt_s / self.pkt_time_s))
+
+    @property
+    def round_capacity_pkts(self) -> int:
+        """Packets deliverable per RTT round: buffer plus line rate."""
+        if self.fabric.buffer_pkts is None:
+            raise ValueError("round capacity is undefined on an ideal (infinite) port")
+        return self.fabric.buffer_pkts + self.pkts_per_rtt
+
+    # -- buffer accounting --------------------------------------------
+    def free_pkts(self) -> int:
+        if self.fabric.buffer_pkts is None:
+            return 1 << 62
+        return max(0, self.fabric.buffer_pkts - self.occupancy_pkts)
+
+    def admit(self, pkts: int) -> None:
+        self.occupancy_pkts += pkts
+        if self._g_occupancy is not None:
+            self._g_occupancy.set(self.occupancy_pkts)
+            self._h_occupancy.observe(self.occupancy_pkts)
+
+    def drain(self, pkts: int) -> None:
+        self.occupancy_pkts -= pkts
+        if self._g_occupancy is not None:
+            self._g_occupancy.set(self.occupancy_pkts)
+
+    # -- event accounting ---------------------------------------------
+    def record_drops(self, pkts: int) -> None:
+        if self._c_drops is not None and pkts:
+            self._c_drops.inc(pkts)
+
+    def record_timeouts(self, n: int = 1) -> None:
+        if self._c_timeouts is not None and n:
+            self._c_timeouts.inc(n)
+
+    def record_retransmit(self, n: int = 1) -> None:
+        if self._c_retransmits is not None and n:
+            self._c_retransmits.inc(n)
+
+    def record_bytes(self, nbytes: int) -> None:
+        if self._c_bytes is not None and nbytes:
+            self._c_bytes.inc(nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = self.fabric.buffer_pkts
+        return f"SwitchPort({self.name}, {self.occupancy_pkts}/{cap if cap is not None else '∞'} pkts)"
+
+
+class Topology:
+    """Client NICs → switch → server NICs, driven as simulation processes.
+
+    The **ideal** configuration (``fabric.ideal``) reproduces the
+    historical inline arithmetic exactly:
+
+    * :meth:`client_xfer` — acquire the client's host NIC, hold it for
+      ``client_link.transfer_s(nbytes)``;
+    * :meth:`request_cost_s` — scalar ``rpc_latency + server-link
+      serialization`` for a server to absorb/emit one request.
+
+    With finite ``fabric.buffer_pkts``, transfers instead route through
+    per-destination :class:`SwitchPort` objects via :meth:`to_server`
+    (client request payload converging on a storage server) and
+    :meth:`to_client` (striped read replies converging on a client —
+    the incast path), with windowed injection, tail drops, fast
+    retransmit, and full-window-loss RTOs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_servers: int,
+        client_link: Link,
+        server_link: Link,
+        rpc_latency_s: float = 0.0,
+        fabric: FabricParams = IDEAL_FABRIC,
+        name: str = "fabric",
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.client_link = client_link
+        self.server_link = server_link
+        self.rpc_latency_s = rpc_latency_s
+        self.name = name
+        self.obs = getattr(sim, "obs", None)
+        self.rng = np.random.default_rng(fabric.seed)
+        self._client_nics: dict[int, Resource] = {}
+        self._client_ports: dict[int, SwitchPort] = {}
+        self.server_ports = [
+            SwitchPort(server_link, fabric, sim=sim, obs=self.obs, name=f"server{i}")
+            for i in range(n_servers)
+        ]
+
+    # -- endpoints -----------------------------------------------------
+    def client_nic(self, client: int) -> Resource:
+        nic = self._client_nics.get(client)
+        if nic is None:
+            nic = Resource(self.sim, capacity=1, name=f"client{client}.nic")
+            self._client_nics[client] = nic
+        return nic
+
+    def client_port(self, client: int) -> SwitchPort:
+        port = self._client_ports.get(client)
+        if port is None:
+            port = SwitchPort(
+                self.client_link, self.fabric, sim=self.sim, obs=self.obs,
+                name=f"client{client}",
+            )
+            self._client_ports[client] = port
+        return port
+
+    # -- ideal-path arithmetic ----------------------------------------
+    def request_cost_s(self, nbytes: int) -> float:
+        """Uncontended server-side cost: RPC overhead + link serialization."""
+        return self.rpc_latency_s + self.server_link.transfer_s(nbytes)
+
+    # -- simulation processes -----------------------------------------
+    def client_xfer(self, client: int, nbytes: int):
+        """Serialize ``nbytes`` onto the client's host NIC (both modes)."""
+        nic = self.client_nic(client)
+        grant = yield Acquire(nic)
+        yield Timeout(self.client_link.transfer_s(nbytes))
+        nic.release(grant)
+
+    def to_server(self, server: int, nbytes: int, parent_span=None):
+        """Move a request payload through the server's switch output port."""
+        yield from self._windowed(self.server_ports[server], nbytes, parent_span)
+
+    def to_client(self, client: int, nbytes: int, parent_span=None):
+        """Move a reply through the client's switch output port (incast path)."""
+        yield from self._windowed(self.client_port(client), nbytes, parent_span)
+
+    def _windowed(self, port: SwitchPort, nbytes: int, parent_span=None):
+        """One flow's windowed injection through a finite output buffer.
+
+        Each round: inject up to ``cwnd`` packets.  Whatever fits in the
+        buffer is admitted and drained by the port link (a shared
+        capacity-1 resource); overflow is tail-dropped.  Partial loss
+        halves the window (fast retransmit); a *full*-window loss has
+        nothing in flight to trigger it, so the flow sits out a (min-)
+        RTO.  An RTT elapses per round for the acknowledgement.
+        """
+        if nbytes <= 0:
+            return
+        fab = self.fabric
+        span = None
+        if self.obs is not None:
+            span = self.obs.tracer.start(
+                "fabric.xfer", parent=parent_span, at=self.sim.now,
+                port=port.name, nbytes=nbytes,
+            )
+        total = -(-nbytes // fab.pkt_bytes)  # ceil
+        cwnd = fab.init_cwnd
+        done = 0
+        while done < total:
+            want = min(cwnd, total - done)
+            admit = min(want, port.free_pkts())
+            if admit <= 0:
+                # full-window loss: no ack, no dup-acks — wait out the RTO
+                port.record_drops(want)
+                port.record_timeouts(1)
+                yield Timeout(fab.rto_s(self.rng))
+                cwnd = fab.init_cwnd
+                continue
+            if admit < want:
+                # partial loss: triple-dup-ack fast retransmit, window halves
+                port.record_drops(want - admit)
+                port.record_retransmit(1)
+                cwnd = max(1, cwnd // 2)
+            else:
+                cwnd = min(cwnd + 1, fab.max_cwnd)
+            port.admit(admit)
+            grant = yield Acquire(port.res)
+            yield Timeout(admit * port.pkt_time_s)
+            port.res.release(grant)
+            port.drain(admit)
+            done += admit
+            yield Timeout(fab.rtt_s)  # the round's acknowledgement
+        port.record_bytes(nbytes)
+        if span is not None:
+            span.finish(at=self.sim.now)
+
+
+# -- the round-based synchronized fan-in engine (incast) ---------------
+
+@dataclass
+class FaninResult:
+    """Aggregate outcome of a synchronized fan-in run."""
+
+    n_flows: int
+    total_bytes: int
+    elapsed_s: float
+    timeouts: int
+    repeat_timeouts: int   # timeouts of flows that already timed out within
+                           # the same block — retransmission-storm collisions,
+                           # the thing RTO jitter removes
+    n_blocks: int
+
+    @property
+    def goodput_Bps(self) -> float:
+        return self.total_bytes / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def block_time_s(self) -> float:
+        return self.elapsed_s / self.n_blocks if self.n_blocks else 0.0
+
+
+def synchronized_fanin(
+    link: Link,
+    fabric: FabricParams,
+    n_flows: int,
+    sru_bytes: int,
+    rng: np.random.Generator,
+    n_blocks: int = 20,
+    port: Optional[SwitchPort] = None,
+) -> FaninResult:
+    """Fetch ``n_blocks`` striped blocks from ``n_flows`` synchronized senders.
+
+    The round-based model (one round = one RTT) from the incast study:
+    each active flow injects its window; injected packets beyond the
+    port's service+buffer capacity for the round are dropped uniformly
+    at random; full-window loss → timeout with the configured minimum
+    RTO (optionally jittered); partial loss → window halves (fast
+    retransmit).  Coarse, but it contains exactly the three mechanisms
+    the published fix manipulates.
+
+    ``port`` (optional, simulator-less) receives per-port drop/timeout
+    accounting so the run shows up in ``repro.obs`` job reports.
+    """
+    if n_flows < 1:
+        raise ValueError("need at least one flow")
+    if fabric.ideal:
+        raise ValueError("synchronized_fanin needs a finite buffer_pkts")
+    if port is None:
+        port = SwitchPort(link, fabric, name=fabric.name)
+    pkt_time = port.pkt_time_s
+    sru_pkts = max(1, sru_bytes // fabric.pkt_bytes)
+    cap = port.round_capacity_pkts  # deliverable per round
+    total_bytes = 0
+    t = 0.0
+    timeouts = 0
+    repeat_timeouts = 0
+    for _ in range(n_blocks):
+        remaining = np.full(n_flows, sru_pkts, dtype=np.int64)
+        cwnd = np.full(n_flows, fabric.init_cwnd, dtype=np.int64)
+        wake = np.zeros(n_flows)  # timeout expiry per flow
+        timed_out_before = np.zeros(n_flows, dtype=bool)
+        while remaining.any():
+            active = (remaining > 0) & (wake <= t)
+            if not active.any():
+                t = wake[remaining > 0].min()
+                continue
+            send = np.where(active, np.minimum(cwnd, remaining), 0)
+            injected = int(send.sum())
+            if injected <= cap:
+                remaining -= send
+                cwnd[active] = np.minimum(cwnd[active] + 1, fabric.max_cwnd)
+                t += max(fabric.rtt_s, injected * pkt_time)
+                continue
+            # overflow: drop (injected - cap) packets uniformly at random
+            drops = injected - cap
+            flat = np.repeat(np.arange(n_flows), send)
+            dropped_idx = rng.choice(injected, size=drops, replace=False)
+            lost = np.bincount(flat[dropped_idx], minlength=n_flows)
+            delivered = send - lost
+            remaining -= delivered
+            port.record_drops(drops)
+            full_loss = active & (send > 0) & (delivered == 0) & (remaining > 0)
+            partial = active & (delivered > 0)
+            cwnd[partial] = np.maximum(cwnd[partial] // 2, 1)
+            port.record_retransmit(int(partial.sum()))
+            n_to = int(full_loss.sum())
+            if n_to:
+                timeouts += n_to
+                repeat_timeouts += int((full_loss & timed_out_before).sum())
+                timed_out_before |= full_loss
+                base = max(fabric.min_rto_s, 2.0 * fabric.rtt_s)
+                if fabric.rto_jitter:
+                    rto = base * (0.5 + rng.random(n_to))
+                else:
+                    rto = np.full(n_to, base)
+                wake[full_loss] = t + rto
+                cwnd[full_loss] = fabric.init_cwnd
+                port.record_timeouts(n_to)
+            t += max(fabric.rtt_s, cap * pkt_time)
+        total_bytes += n_flows * sru_pkts * fabric.pkt_bytes
+    port.record_bytes(total_bytes)
+    return FaninResult(
+        n_flows=n_flows,
+        total_bytes=total_bytes,
+        elapsed_s=t,
+        timeouts=timeouts,
+        repeat_timeouts=repeat_timeouts,
+        n_blocks=n_blocks,
+    )

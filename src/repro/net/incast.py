@@ -11,20 +11,25 @@ the minimum RTO to ~1 ms (microsecond-granularity timers) restores
 goodput; at thousands of servers the retransmissions themselves
 resynchronize, so the RTO must also be *randomized* (Fig 9 right).
 
-The model is round-based (one round = one RTT): each active flow injects
-its window; injected packets beyond the port's service+buffer capacity are
-dropped uniformly at random; full-window loss → timeout with the
-configured minimum RTO (optionally jittered); partial loss → window halves
-(fast retransmit).  Coarse, but it contains exactly the three mechanisms
-the published fix manipulates.
+This module is now a thin configuration of the shared network fabric:
+the round-based engine lives in :func:`repro.net.fabric.synchronized_fanin`
+(one round = one RTT, uniform random drops past the port's service+buffer
+capacity, full-window loss → minimum RTO, partial loss → fast retransmit),
+and :class:`IncastConfig` just maps the published testbeds onto a
+:class:`~repro.net.fabric.Link` + :class:`~repro.net.fabric.FabricParams`
+pair.  All randomness flows through one explicit
+``numpy.random.Generator`` seeded from the config, so two same-seed runs
+produce identical :class:`IncastResult`\\ s.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from repro.net.fabric import FabricParams, Link, SwitchPort, synchronized_fanin
 from repro.obs import current as _current_obs
 
 
@@ -42,6 +47,7 @@ class IncastConfig:
     rto_jitter: bool = False          # randomize the timeout
     init_cwnd: int = 2
     max_cwnd: int = 64
+    seed: int = 42                    # drop sampling + RTO jitter
 
     @property
     def pkt_time_s(self) -> float:
@@ -50,6 +56,23 @@ class IncastConfig:
     @property
     def pkts_per_rtt(self) -> int:
         return max(1, int(self.rtt_s / self.pkt_time_s))
+
+    # -- the fabric view ---------------------------------------------
+    def as_link(self) -> Link:
+        return Link(bandwidth_Bps=self.link_Bps)
+
+    def as_fabric(self) -> FabricParams:
+        return FabricParams(
+            name=self.name,
+            buffer_pkts=self.buffer_pkts,
+            pkt_bytes=self.pkt_bytes,
+            rtt_s=self.rtt_s,
+            min_rto_s=self.min_rto_s,
+            rto_jitter=self.rto_jitter,
+            init_cwnd=self.init_cwnd,
+            max_cwnd=self.max_cwnd,
+            seed=self.seed,
+        )
 
 
 #: The report's two testbeds.
@@ -84,74 +107,46 @@ class IncastResult:
 def simulate_incast(
     cfg: IncastConfig,
     n_servers: int,
-    rng: np.random.Generator,
+    rng: Optional[np.random.Generator] = None,
     n_blocks: int = 20,
 ) -> IncastResult:
-    """Fetch ``n_blocks`` striped blocks; returns aggregate goodput."""
+    """Fetch ``n_blocks`` striped blocks; returns aggregate goodput.
+
+    ``rng`` defaults to ``numpy.random.default_rng(cfg.seed)`` — pass one
+    explicitly to share a stream across calls.
+    """
     if n_servers < 1:
         raise ValueError("need at least one server")
-    sru_pkts = max(1, cfg.sru_bytes // cfg.pkt_bytes)
-    cap = cfg.buffer_pkts + cfg.pkts_per_rtt  # deliverable per round
-    total_bytes = 0
-    t = 0.0
-    timeouts = 0
-    repeat_timeouts = 0
-    for _ in range(n_blocks):
-        remaining = np.full(n_servers, sru_pkts, dtype=np.int64)
-        cwnd = np.full(n_servers, cfg.init_cwnd, dtype=np.int64)
-        wake = np.zeros(n_servers)  # timeout expiry per server
-        timed_out_before = np.zeros(n_servers, dtype=bool)
-        while remaining.any():
-            active = (remaining > 0) & (wake <= t)
-            if not active.any():
-                t = wake[remaining > 0].min()
-                continue
-            send = np.where(active, np.minimum(cwnd, remaining), 0)
-            injected = int(send.sum())
-            if injected <= cap:
-                remaining -= send
-                cwnd[active] = np.minimum(cwnd[active] + 1, cfg.max_cwnd)
-                t += max(cfg.rtt_s, injected * cfg.pkt_time_s)
-                continue
-            # overflow: drop (injected - cap) packets uniformly at random
-            drops = injected - cap
-            flat = np.repeat(np.arange(n_servers), send)
-            dropped_idx = rng.choice(injected, size=drops, replace=False)
-            lost = np.bincount(flat[dropped_idx], minlength=n_servers)
-            delivered = send - lost
-            remaining -= delivered
-            full_loss = active & (send > 0) & (delivered == 0) & (remaining > 0)
-            partial = active & (delivered > 0)
-            cwnd[partial] = np.maximum(cwnd[partial] // 2, 1)
-            n_to = int(full_loss.sum())
-            if n_to:
-                timeouts += n_to
-                repeat_timeouts += int((full_loss & timed_out_before).sum())
-                timed_out_before |= full_loss
-                base = max(cfg.min_rto_s, 2.0 * cfg.rtt_s)
-                if cfg.rto_jitter:
-                    rto = base * (0.5 + rng.random(n_to))
-                else:
-                    rto = np.full(n_to, base)
-                wake[full_loss] = t + rto
-                cwnd[full_loss] = cfg.init_cwnd
-            t += max(cfg.rtt_s, cap * cfg.pkt_time_s)
-        total_bytes += n_servers * sru_pkts * cfg.pkt_bytes
+    if rng is None:
+        rng = np.random.default_rng(cfg.seed)
+    obs = _current_obs()
+    port = SwitchPort(
+        cfg.as_link(), cfg.as_fabric(), obs=obs,
+        name=f"incast.{cfg.name}.{n_servers}",
+    )
+    fanin = synchronized_fanin(
+        cfg.as_link(),
+        cfg.as_fabric(),
+        n_flows=n_servers,
+        sru_bytes=cfg.sru_bytes,
+        rng=rng,
+        n_blocks=n_blocks,
+        port=port,
+    )
     result = IncastResult(
         n_servers=n_servers,
-        goodput_Bps=total_bytes / t if t > 0 else 0.0,
-        timeouts=timeouts,
-        block_time_s=t / n_blocks,
-        repeat_timeouts=repeat_timeouts,
+        goodput_Bps=fanin.goodput_Bps,
+        timeouts=fanin.timeouts,
+        block_time_s=fanin.block_time_s,
+        repeat_timeouts=fanin.repeat_timeouts,
     )
-    obs = _current_obs()
     if obs is not None:
         labels = {"config": cfg.name, "servers": n_servers}
         m = obs.metrics
         m.gauge("net.incast.goodput_Bps", **labels).set(result.goodput_Bps)
-        m.counter("net.incast.timeouts", **labels).inc(timeouts)
-        m.counter("net.incast.repeat_timeouts", **labels).inc(repeat_timeouts)
-        m.counter("net.incast.bytes_read", **labels).inc(total_bytes)
+        m.counter("net.incast.timeouts", **labels).inc(fanin.timeouts)
+        m.counter("net.incast.repeat_timeouts", **labels).inc(fanin.repeat_timeouts)
+        m.counter("net.incast.bytes_read", **labels).inc(fanin.total_bytes)
     return result
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.devices.disk import DiskParams, SEVEN_K2_SATA
+from repro.net.fabric import FabricParams, IDEAL_FABRIC
 
 
 @dataclass(frozen=True)
@@ -22,6 +23,12 @@ class PFSParams:
     mds_op_s: metadata server cost per namespace operation.
     write_buffer_bytes: client-side coalescing buffer for sequential
         streams (log-structured writers benefit; strided writers cannot).
+    fabric: network-fabric congestion knobs (:class:`repro.net.fabric.
+        FabricParams`).  The default :data:`~repro.net.fabric.IDEAL_FABRIC`
+        (infinite switch buffers, no contention) reproduces plain
+        latency+bandwidth arithmetic; a finite ``buffer_pkts`` routes every
+        request/reply through shared switch output ports with incast-style
+        drop/timeout/window dynamics.
     """
 
     name: str = "generic"
@@ -38,9 +45,13 @@ class PFSParams:
                                                # across them, GIGA+-style)
     write_buffer_bytes: int = 1 << 20
     disk: DiskParams = field(default_factory=lambda: SEVEN_K2_SATA)
+    fabric: FabricParams = IDEAL_FABRIC
 
     def with_servers(self, n: int) -> "PFSParams":
         return replace(self, n_servers=n)
+
+    def with_fabric(self, fabric: FabricParams) -> "PFSParams":
+        return replace(self, fabric=fabric)
 
 
 #: Lustre-like: 1 MB stripes, page-granular-ish locking modeled at 64 KB,

@@ -8,10 +8,11 @@ application rank that performs metadata and data operations through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.devices.disk import Disk
+from repro.net.fabric import Link, Topology
 from repro.pfs.layout import Extent, StripeLayout
 from repro.pfs.locks import BlockLockManager
 from repro.pfs.params import PFSParams
@@ -44,6 +45,7 @@ class FileHandle:
 @dataclass
 class _ServerRequest:
     file_id: int
+    client: int
     extents: list[Extent]
     nbytes: int
     write: bool
@@ -52,27 +54,33 @@ class _ServerRequest:
 
 
 class _StorageServer:
-    """One storage server: FIFO request queue, a NIC, and a disk."""
+    """One storage server: FIFO request queue, a fabric port, and a disk."""
 
-    def __init__(self, sim: Simulator, index: int, params: PFSParams) -> None:
+    def __init__(
+        self, sim: Simulator, index: int, params: PFSParams, topology: Topology
+    ) -> None:
         self.sim = sim
         self.index = index
         self.params = params
+        self.topology = topology
         self.disk = Disk(params.disk, sim=None, name=f"osd{index}.disk")
         self.queue: Store = Store(sim, name=f"osd{index}.q")
         # server-local space allocation: (file_id, chunk) -> disk offset
         self._alloc: dict[tuple[int, int], int] = {}
         self._alloc_next = 0
-        self.counters = Counter()
         obs = sim.obs
+        # one source of truth for per-server accounting: the component
+        # counters mirror straight into the obs registry (labelled by server)
+        self.counters = Counter(
+            registry=obs.metrics if obs is not None else None,
+            prefix="pfs.server.",
+            labels={"server": index},
+        )
         if obs is not None:
-            m = obs.metrics
-            self._h_service = m.histogram("pfs.server.service_s", server=index)
-            self._c_bytes_w = m.counter("pfs.server.bytes_written", server=index)
-            self._c_bytes_r = m.counter("pfs.server.bytes_read", server=index)
+            self._h_service = obs.metrics.histogram("pfs.server.service_s", server=index)
             self._tracer = obs.tracer
         else:
-            self._h_service = self._c_bytes_w = self._c_bytes_r = None
+            self._h_service = None
             self._tracer = None
         sim.spawn(self._serve(), name=f"osd{index}")
 
@@ -90,29 +98,53 @@ class _StorageServer:
 
     def _serve(self):
         p = self.params
+        fab = self.topology
+        ideal = fab.fabric.ideal
         while True:
             req: _ServerRequest = yield self.queue.get()
-            t = p.rpc_latency_s + req.nbytes / p.server_nic_Bps
-            for ext in req.extents:
-                off = self._disk_offset(req.file_id, ext.server_offset)
-                t += self.disk.access(off, ext.length, write=req.write)
-            self.counters.add("requests")
-            self.counters.add("bytes_written" if req.write else "bytes_read", req.nbytes)
+            t0 = self.sim.now
             span = None
-            if self._h_service is not None:
-                self._h_service.observe(t)
-                (self._c_bytes_w if req.write else self._c_bytes_r).inc(req.nbytes)
+            if self._tracer is not None:
                 span = self._tracer.start(
                     "pfs.server.request",
                     parent=req.parent_span,
-                    at=self.sim.now,
+                    at=t0,
                     server=self.index,
                     nbytes=req.nbytes,
                 )
-            yield Timeout(t)
+            if ideal:
+                # uncontended: RPC + link serialization + disk, one interval
+                # (kept as a single accumulation so results stay bit-stable
+                # with the historical inline NIC arithmetic)
+                t = fab.request_cost_s(req.nbytes)
+                for ext in req.extents:
+                    off = self._disk_offset(req.file_id, ext.server_offset)
+                    t += self.disk.access(off, ext.length, write=req.write)
+                yield Timeout(t)
+            else:
+                disk_s = 0.0
+                for ext in req.extents:
+                    off = self._disk_offset(req.file_id, ext.server_offset)
+                    disk_s += self.disk.access(off, ext.length, write=req.write)
+                if req.write:
+                    # request payload converges on this server's switch port
+                    yield Timeout(p.rpc_latency_s)
+                    yield from fab.to_server(self.index, req.nbytes, parent_span=span)
+                    yield Timeout(disk_s)
+                else:
+                    # striped-read replies converge on the *client's* switch
+                    # port — the incast path
+                    yield Timeout(p.rpc_latency_s + disk_s)
+                    yield from fab.to_client(req.client, req.nbytes, parent_span=span)
+            # record once, after service completes, from one source of truth
+            elapsed = self.sim.now - t0
+            self.counters.add("requests")
+            self.counters.add("bytes_written" if req.write else "bytes_read", req.nbytes)
+            if self._h_service is not None:
+                self._h_service.observe(elapsed)
             if span is not None:
                 span.finish(at=self.sim.now)
-            req.done.succeed(t)
+            req.done.succeed(elapsed)
 
 
 class SimPFS:
@@ -128,7 +160,20 @@ class SimPFS:
         self.params = params
         self.security = security
         self.layout = StripeLayout(params.n_servers, params.stripe_unit)
-        self.servers = [_StorageServer(sim, i, params) for i in range(params.n_servers)]
+        # the network fabric: every client→server request and server→client
+        # reply crosses it; ideal (default) reproduces flat NIC arithmetic
+        self.topology = Topology(
+            sim,
+            n_servers=params.n_servers,
+            client_link=Link(params.client_nic_Bps),
+            server_link=Link(params.server_nic_Bps),
+            rpc_latency_s=params.rpc_latency_s,
+            fabric=params.fabric,
+        )
+        self.servers = [
+            _StorageServer(sim, i, params, self.topology)
+            for i in range(params.n_servers)
+        ]
         # metadata service: one or several independent servers; paths hash
         # across them (PLFS follow-on #1 / GIGA+-style distribution)
         self.mds_servers = [
@@ -138,7 +183,6 @@ class SimPFS:
         self.mds = self.mds_servers[0]
         self._files: dict[str, FileHandle] = {}
         self._next_id = 0
-        self._client_nics: dict[int, Resource] = {}
         self.obs = sim.obs
         self.counters = Counter(
             registry=self.obs.metrics if self.obs else None, prefix="pfs."
@@ -155,11 +199,7 @@ class SimPFS:
 
     # -- helpers --------------------------------------------------------
     def _nic(self, client: int) -> Resource:
-        nic = self._client_nics.get(client)
-        if nic is None:
-            nic = Resource(self.sim, capacity=1, name=f"client{client}.nic")
-            self._client_nics[client] = nic
-        return nic
+        return self.topology.client_nic(client)
 
     def lookup(self, path: str) -> FileHandle:
         try:
@@ -281,14 +321,11 @@ class SimPFS:
         sec = self.security.per_io_s * len(by_server)
         if sec:
             yield Timeout(sec)
-        # 3. client NIC serialization
+        # 3. client NIC serialization (through the fabric's host link)
         xsp = None
         if sp is not None:
             xsp = obs.tracer.start("pfs.xfer", parent=sp, at=self.sim.now, client=client)
-        nic = self._nic(client)
-        grant = yield Acquire(nic)
-        yield Timeout(nbytes / p.client_nic_Bps)
-        nic.release(grant)
+        yield from self.topology.client_xfer(client, nbytes)
         if xsp is not None:
             xsp.finish(at=self.sim.now)
         # 4. issue to servers and wait for all
@@ -298,6 +335,7 @@ class SimPFS:
             self.servers[server].queue.put(
                 _ServerRequest(
                     file_id=fh.file_id,
+                    client=client,
                     extents=sexts,
                     nbytes=sum(e.length for e in sexts),
                     write=True,
@@ -318,7 +356,6 @@ class SimPFS:
     def op_read(self, client: int, path: str, offset: int, nbytes: int, parent_span=None):
         """Read process (no coherence charges for concurrent readers)."""
         fh = self.lookup(path)
-        p = self.params
         nbytes = max(0, min(nbytes, fh.size - offset))
         if nbytes <= 0:
             return 0.0
@@ -342,6 +379,7 @@ class SimPFS:
             self.servers[server].queue.put(
                 _ServerRequest(
                     file_id=fh.file_id,
+                    client=client,
                     extents=sexts,
                     nbytes=sum(e.length for e in sexts),
                     write=False,
@@ -355,10 +393,7 @@ class SimPFS:
         xsp = None
         if sp is not None:
             xsp = obs.tracer.start("pfs.xfer", parent=sp, at=self.sim.now, client=client)
-        nic = self._nic(client)
-        grant = yield Acquire(nic)
-        yield Timeout(nbytes / p.client_nic_Bps)
-        nic.release(grant)
+        yield from self.topology.client_xfer(client, nbytes)
         if xsp is not None:
             xsp.finish(at=self.sim.now)
         self.counters.add("bytes_read", nbytes)

@@ -13,11 +13,9 @@ what wall-clock stamps give real PLFS.
 
 from __future__ import annotations
 
-import io
 import itertools
 import threading
 import zlib
-from pathlib import Path
 from typing import BinaryIO, Optional
 
 from repro.obs import current as _current_obs

@@ -9,7 +9,6 @@ file size.
 from __future__ import annotations
 
 import os
-from pathlib import Path
 
 from repro.plfs.container import Container, is_container
 from repro.plfs.filehandle import PlfsReadHandle

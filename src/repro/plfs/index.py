@@ -23,14 +23,12 @@ physically within one dropping — the optimization the report lists as
 
 from __future__ import annotations
 
-import io
 import struct
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Iterable, Sequence
 
-import numpy as np
 
 from repro.obs import current as _current_obs
 from repro.plfs.intervalmap import IntervalMap, Segment

@@ -19,9 +19,10 @@ PLFS, a single create for the shared file).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
 
+from repro.net.fabric import FabricParams
 from repro.pfs.params import PFSParams
 from repro.pfs.system import SimPFS
 from repro.sim import Simulator
@@ -58,8 +59,20 @@ def _total_bytes(pattern: Pattern) -> int:
     return sum(n for rank in pattern for _, n in rank)
 
 
-def run_direct_n1(params: PFSParams, pattern: Pattern, path: str = "/ckpt") -> CheckpointResult:
+def _with_fabric(params: PFSParams, fabric: Optional[FabricParams]) -> PFSParams:
+    """Overlay a network-fabric configuration onto the FS parameters, so the
+    direct-vs-PLFS comparison can be run under congested networks."""
+    return params if fabric is None else replace(params, fabric=fabric)
+
+
+def run_direct_n1(
+    params: PFSParams,
+    pattern: Pattern,
+    path: str = "/ckpt",
+    fabric: Optional[FabricParams] = None,
+) -> CheckpointResult:
     """All ranks write their records into one shared file at logical offsets."""
+    params = _with_fabric(params, fabric)
     sim = Simulator()
     pfs = SimPFS(sim, params)
     sim.spawn(pfs.op_create(0, path))
@@ -106,6 +119,7 @@ def run_plfs(
     path: str = "/ckpt",
     index_record_bytes: int = INDEX_RECORD_BYTES,
     compression_ratio: float = 1.0,
+    fabric: Optional[FabricParams] = None,
 ) -> CheckpointResult:
     """Same pattern through PLFS: per-rank sequential logs + index stream.
 
@@ -120,6 +134,7 @@ def run_plfs(
     """
     if compression_ratio < 1.0:
         raise ValueError("compression_ratio must be >= 1")
+    params = _with_fabric(params, fabric)
     sim = Simulator()
     pfs = SimPFS(sim, params)
     start = sim.now
@@ -173,10 +188,14 @@ def run_plfs(
     )
 
 
-def speedup(params: PFSParams, pattern: Pattern) -> tuple[CheckpointResult, CheckpointResult, float]:
+def speedup(
+    params: PFSParams,
+    pattern: Pattern,
+    fabric: Optional[FabricParams] = None,
+) -> tuple[CheckpointResult, CheckpointResult, float]:
     """(direct result, plfs result, PLFS bandwidth speedup)."""
-    direct = run_direct_n1(params, pattern)
-    plfs = run_plfs(params, pattern)
+    direct = run_direct_n1(params, pattern, fabric=fabric)
+    plfs = run_plfs(params, pattern, fabric=fabric)
     return direct, plfs, plfs.bandwidth_Bps / direct.bandwidth_Bps
 
 
@@ -186,6 +205,7 @@ def run_readback(
     via_plfs: bool,
     readers: int = 4,
     path: str = "/ckpt",
+    fabric: Optional[FabricParams] = None,
 ) -> CheckpointResult:
     """Read the checkpoint back N-to-1 (restart / analysis, PDSW'09
     "...And eat it too: high read performance in write-optimized HPC I/O").
@@ -202,6 +222,7 @@ def run_readback(
       within a small factor of direct — the PDSW'09 result.
     """
     total = _total_bytes(pattern)
+    params = _with_fabric(params, fabric)
     sim = Simulator()
     pfs = SimPFS(sim, params)
     n_writers = len(pattern)

@@ -14,11 +14,9 @@ indices); shrinking ``truncate`` to a non-zero size is unsupported.
 from __future__ import annotations
 
 import os
-import shutil
 from pathlib import Path
-from typing import Iterator, Optional
 
-from repro.plfs.container import Container, ContainerError, is_container
+from repro.plfs.container import Container, is_container
 from repro.plfs.filehandle import PlfsReadHandle, PlfsWriteHandle, WriteClock
 from repro.plfs.index import GlobalIndex
 

@@ -20,9 +20,8 @@ Three IETF layout types are modeled:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
 
 from repro.pfs.layout import StripeLayout
 

@@ -11,7 +11,7 @@ one access at a time; *before* seeing each access it may issue predictions
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 Access = tuple[int, int]  # (file_id, block)

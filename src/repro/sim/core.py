@@ -264,26 +264,29 @@ class Simulator:
         """
         heap = self._heap
         dispatched = self._c_dispatched
-        while heap:
-            time, _seq, fn, args = heap[0]
-            if until is not None and time > until:
-                self.now = until
-                break
-            heapq.heappop(heap)
-            self.now = time
-            if self._trace is not None:
-                self._trace(time, getattr(fn, "__qualname__", repr(fn)))
-            if dispatched is not None:
-                dispatched.value += 1.0
-            fn(*args)
-            if self._crashed is not None:
-                exc, self._crashed = self._crashed, None
-                raise exc
-        else:
-            if until is not None and until > self.now:
-                self.now = until
-        if self._g_now is not None:
-            self._g_now.set(self.now)
+        try:
+            while heap:
+                time, _seq, fn, args = heap[0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                heapq.heappop(heap)
+                self.now = time
+                if self._trace is not None:
+                    self._trace(time, getattr(fn, "__qualname__", repr(fn)))
+                if dispatched is not None:
+                    dispatched.value += 1.0
+                fn(*args)
+                if self._crashed is not None:
+                    exc, self._crashed = self._crashed, None
+                    raise exc
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            # keep the gauge truthful even when a crashed process re-raises
+            if self._g_now is not None:
+                self._g_now.set(self.now)
         return self.now
 
     def peek(self) -> float:

@@ -21,18 +21,21 @@ class Counter:
     """Named monotone counters (events, bytes, retries ...).
 
     When ``registry`` (a :class:`repro.obs.MetricsRegistry`) is given,
-    every ``add`` is mirrored to ``registry.counter(prefix + key)``.
+    every ``add`` is mirrored to ``registry.counter(prefix + key,
+    **labels)`` — so one component-local store can double as the obs
+    source of truth instead of double-booking into both.
     """
 
-    def __init__(self, registry=None, prefix: str = "") -> None:
+    def __init__(self, registry=None, prefix: str = "", labels: Optional[dict] = None) -> None:
         self._counts: dict[str, float] = {}
         self._registry = registry
         self._prefix = prefix
+        self._labels = dict(labels) if labels else {}
 
     def add(self, key: str, amount: float = 1.0) -> None:
         self._counts[key] = self._counts.get(key, 0.0) + amount
         if self._registry is not None:
-            self._registry.counter(self._prefix + key).inc(amount)
+            self._registry.counter(self._prefix + key, **self._labels).inc(amount)
 
     #: alias matching :class:`repro.obs.metrics.Counter`
     inc = add
@@ -52,19 +55,20 @@ class Gauge:
     """Named instantaneous values with set/inc/dec (non-monotone).
 
     The keyed sibling of :class:`Counter` for queue depths, open-handle
-    counts, watermarks...  Mirrors into ``registry.gauge(prefix + key)``
-    when bound to a :class:`repro.obs.MetricsRegistry`.
+    counts, watermarks...  Mirrors into ``registry.gauge(prefix + key,
+    **labels)`` when bound to a :class:`repro.obs.MetricsRegistry`.
     """
 
-    def __init__(self, registry=None, prefix: str = "") -> None:
+    def __init__(self, registry=None, prefix: str = "", labels: Optional[dict] = None) -> None:
         self._values: dict[str, float] = {}
         self._registry = registry
         self._prefix = prefix
+        self._labels = dict(labels) if labels else {}
 
     def set(self, key: str, value: float) -> None:
         self._values[key] = float(value)
         if self._registry is not None:
-            self._registry.gauge(self._prefix + key).set(value)
+            self._registry.gauge(self._prefix + key, **self._labels).set(value)
 
     def inc(self, key: str, amount: float = 1.0) -> None:
         self.set(key, self._values.get(key, 0.0) + amount)

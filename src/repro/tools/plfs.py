@@ -17,7 +17,7 @@ from pathlib import Path
 from repro.plfs.container import Container, is_container
 from repro.plfs.flatten import flatten
 from repro.plfs.index import GlobalIndex, compact_entries, read_index_dropping
-from repro.plfs.indexopt import compression_ratio, detect_patterns
+from repro.plfs.indexopt import detect_patterns
 
 
 def cmd_ls(args) -> int:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.tracing.records import TraceEvent, TraceLog
+from repro.tracing.records import TraceLog
 
 
 @dataclass(frozen=True)

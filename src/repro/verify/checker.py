@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional, Sequence
 
 Op = Callable[[Any], Any]  # op(state) -> new state (must not mutate input)

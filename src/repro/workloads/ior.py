@@ -12,8 +12,10 @@ optionally re-reads and verifies rank-stamped data.  Two back ends:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.mpi import run_spmd
+from repro.net.fabric import FabricParams
 from repro.obs import tracer as _obs_tracer
 from repro.pfs.params import PFSParams
 from repro.plfs.mpiio import PlfsMPIIO
@@ -122,8 +124,18 @@ def run_ior_real(config: IORConfig, plfs: Plfs, path: str = "/ior.out") -> IORRe
 
 
 def run_ior_sim(
-    config: IORConfig, params: PFSParams, via_plfs: bool
+    config: IORConfig,
+    params: PFSParams,
+    via_plfs: bool,
+    fabric: Optional[FabricParams] = None,
 ) -> CheckpointResult:
-    """Bandwidth of the same pattern on the simulated PFS."""
+    """Bandwidth of the same pattern on the simulated PFS.
+
+    ``fabric`` overlays a network-fabric configuration (e.g. finite
+    switch buffers) so the direct-vs-PLFS comparison can be run under
+    congested networks.
+    """
     pattern = config.as_pattern()
-    return run_plfs(params, pattern) if via_plfs else run_direct_n1(params, pattern)
+    if via_plfs:
+        return run_plfs(params, pattern, fabric=fabric)
+    return run_direct_n1(params, pattern, fabric=fabric)

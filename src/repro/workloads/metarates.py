@@ -9,7 +9,6 @@ cluster simulator or any directory service.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
 
 
 @dataclass(frozen=True)

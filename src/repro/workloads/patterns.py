@@ -13,7 +13,6 @@ Terminology follows the report (and the PLFS paper):
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

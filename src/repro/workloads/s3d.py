@@ -12,7 +12,7 @@ the same linear-projection model ORNL used for the prediction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -4,7 +4,7 @@ and assorted smaller units (h5lite perf, iozone full sweep, dfs edges)."""
 import numpy as np
 import pytest
 
-from repro.devices import Disk, device_model
+from repro.devices import device_model
 from repro.dfs import ClusterSpec, GrepJob, HDFSBackend, run_grep
 from repro.failure.analysis import fit_weibull_shape
 from repro.failure.traces import synth_drive_population

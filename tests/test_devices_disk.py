@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.devices import Disk, DiskParams, SEVEN_K2_SATA, FIFTEEN_K_SAS
+from repro.devices import Disk, SEVEN_K2_SATA, FIFTEEN_K_SAS
 from repro.sim import Simulator
 
 

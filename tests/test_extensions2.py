@@ -2,7 +2,6 @@
 failures, and bench results export."""
 
 import json
-import os
 
 import numpy as np
 import pytest

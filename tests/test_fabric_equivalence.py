@@ -1,0 +1,95 @@
+"""The fabric equivalence contract (golden numbers).
+
+The ideal fabric (infinite switch buffers, no contention) must reproduce
+the pre-refactor inline latency+bandwidth arithmetic *exactly*: these
+makespans were captured from the tree immediately before the data path
+was routed through ``repro.net.fabric``, for the seed IOR patterns on
+every file-system personality.  If one of these moves, the degenerate
+fabric configuration is no longer bit-stable with the historical model —
+that is a regression, not a tolerance issue.
+"""
+
+import pytest
+
+from repro.net.fabric import FabricParams, IDEAL_FABRIC
+from repro.pfs.params import GPFS_LIKE, LUSTRE_LIKE, PANFS_LIKE, PFSParams
+from repro.plfs.simbridge import run_direct_n1, run_plfs, run_readback
+from repro.workloads.ior import IORConfig, run_ior_sim
+
+#: (personality, pattern, scheme) -> makespan_s captured pre-refactor.
+GOLDEN_MAKESPANS = {
+    ("generic", "n1-strided", "direct"): 0.02074609835044017,
+    ("generic", "n1-strided", "plfs"): 0.020487964830806796,
+    ("generic", "n1-segmented", "direct"): 0.0231782590662682,
+    ("generic", "n1-segmented", "plfs"): 0.020487964830806796,
+    ("lustre-like", "n1-strided", "direct"): 0.11508509105177736,
+    ("lustre-like", "n1-strided", "plfs"): 0.022153493333333336,
+    ("lustre-like", "n1-segmented", "direct"): 0.10048246402950212,
+    ("lustre-like", "n1-segmented", "plfs"): 0.022153493333333336,
+    ("panfs-like", "n1-strided", "direct"): 0.02074609835044017,
+    ("panfs-like", "n1-strided", "plfs"): 0.020487964830806796,
+    ("panfs-like", "n1-segmented", "direct"): 0.0231782590662682,
+    ("panfs-like", "n1-segmented", "plfs"): 0.020487964830806796,
+    ("gpfs-like", "n1-strided", "direct"): 0.5790707375808246,
+    ("gpfs-like", "n1-strided", "plfs"): 0.021653494096883275,
+    ("gpfs-like", "n1-segmented", "direct"): 0.020746098350440167,
+    ("gpfs-like", "n1-segmented", "plfs"): 0.021653494096883275,
+}
+
+#: (via_plfs,) -> readback makespan_s on the generic personality.
+GOLDEN_READBACK = {
+    False: 0.015881035521872252,
+    True: 0.01588103552187223,
+}
+
+PERSONALITIES = {
+    "generic": PFSParams(),
+    "lustre-like": LUSTRE_LIKE,
+    "panfs-like": PANFS_LIKE,
+    "gpfs-like": GPFS_LIKE,
+}
+
+SEED_IOR = {
+    pat: IORConfig(n_ranks=4, transfer_size=64 * 1024, segments=8, pattern=pat)
+    for pat in ("n1-strided", "n1-segmented")
+}
+
+
+@pytest.mark.parametrize("pname", sorted(PERSONALITIES))
+@pytest.mark.parametrize("pattern", sorted(SEED_IOR))
+def test_ideal_fabric_matches_pre_refactor_golden(pname, pattern):
+    params = PERSONALITIES[pname]
+    assert params.fabric is IDEAL_FABRIC
+    cfg = SEED_IOR[pattern]
+    direct = run_direct_n1(params, cfg.as_pattern())
+    plfs = run_plfs(params, cfg.as_pattern())
+    assert direct.makespan_s == GOLDEN_MAKESPANS[(pname, pattern, "direct")]
+    assert plfs.makespan_s == GOLDEN_MAKESPANS[(pname, pattern, "plfs")]
+
+
+@pytest.mark.parametrize("via_plfs", [False, True])
+def test_ideal_fabric_readback_matches_golden(via_plfs):
+    cfg = SEED_IOR["n1-strided"]
+    res = run_readback(PFSParams(), cfg.as_pattern(), via_plfs=via_plfs)
+    assert res.makespan_s == GOLDEN_READBACK[via_plfs]
+
+
+def test_explicit_ideal_fabric_equals_default():
+    """Passing fabric=IDEAL_FABRIC explicitly changes nothing."""
+    cfg = SEED_IOR["n1-strided"]
+    a = run_ior_sim(cfg, PFSParams(), via_plfs=False)
+    b = run_ior_sim(cfg, PFSParams(), via_plfs=False, fabric=IDEAL_FABRIC)
+    assert a.makespan_s == b.makespan_s == GOLDEN_MAKESPANS[
+        ("generic", "n1-strided", "direct")
+    ]
+
+
+def test_finite_buffers_change_the_answer():
+    """A congested fabric is a different physical system: same pattern,
+    strictly slower checkpoint than the ideal golden value."""
+    cfg = SEED_IOR["n1-strided"]
+    congested = run_ior_sim(
+        cfg, PFSParams(), via_plfs=False,
+        fabric=FabricParams(name="1GE-8pkt", buffer_pkts=8, seed=3),
+    )
+    assert congested.makespan_s > GOLDEN_MAKESPANS[("generic", "n1-strided", "direct")]

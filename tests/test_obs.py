@@ -7,12 +7,10 @@ import pytest
 from repro import obs
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
-    Counter,
-    Gauge,
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.clock import LogicalClock, MonotonicClock, SimClock
+from repro.obs.clock import LogicalClock, SimClock
 from repro.obs.report import (
     build_report,
     diff_reports,

@@ -8,7 +8,7 @@ from hypothesis import given, settings, strategies as st
 from repro.mpi import run_spmd
 from repro.plfs import Plfs
 from repro.plfs.container import Container
-from repro.plfs.index import IndexEntry, compact_entries
+from repro.plfs.index import IndexEntry
 from repro.plfs.indexopt import (
     PatternIndex,
     compression_ratio,

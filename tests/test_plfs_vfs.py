@@ -4,8 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.plfs import Plfs, flatten
-from repro.plfs.container import Container
-from repro.plfs.filehandle import PlfsReadHandle, PlfsWriteHandle, WriteClock
+from repro.plfs.filehandle import WriteClock
 
 
 @pytest.fixture

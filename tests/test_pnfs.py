@@ -4,7 +4,6 @@ import pytest
 
 from repro.pfs.layout import StripeLayout
 from repro.pnfs import (
-    Layout,
     LayoutError,
     LayoutKind,
     LayoutManager,

@@ -1,7 +1,6 @@
 """Cross-cutting property-based tests on system invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.erasure import ReedSolomon

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.pfs import PFSParams
-from repro.rados import OSDMap, RadosCluster, RadosError
+from repro.rados import RadosCluster, RadosError
 from repro.tracing import synth_app_trace
 from repro.tracing.records import TraceEvent, TraceLog
 from repro.tracing.replay import replay_trace

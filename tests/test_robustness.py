@@ -7,11 +7,11 @@ import numpy as np
 import pytest
 
 from repro.h5lite import H5LiteReader, H5LiteWriter
-from repro.h5lite.format import H5LiteError, SUPERBLOCK_SIZE
+from repro.h5lite.format import H5LiteError
 from repro.plfs import Plfs
 from repro.plfs.container import Container, ContainerError
 from repro.plfs.filehandle import PlfsReadHandle
-from repro.plfs.index import RECORD_SIZE, pack_entry
+from repro.plfs.index import pack_entry
 
 
 @pytest.fixture

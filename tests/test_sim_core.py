@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Acquire, Event, Resource, SimulationError, Simulator, Store, Timeout, Wait
+from repro.sim import Acquire, Resource, SimulationError, Simulator, Store, Timeout, Wait
 
 
 def test_timeout_ordering():
@@ -157,6 +157,69 @@ def test_unwaited_exception_aborts_run():
     sim.spawn(child())
     with pytest.raises(ValueError, match="unhandled"):
         sim.run()
+
+
+def test_crash_still_updates_now_gauge():
+    """The sim.now gauge must be truthful even when run() re-raises."""
+    from repro import obs
+
+    with obs.use() as o:
+        sim = Simulator()
+
+        def child():
+            yield Timeout(3.0)
+            raise ValueError("boom")
+
+        sim.spawn(child())
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+        assert o.metrics.gauge("sim.now").value == 3.0
+
+
+def test_failure_propagation_no_existing_and_late_waiters():
+    """A crashed process must reach: run() when nobody waits, an existing
+    waiter directly, and a late waiter that arrives after the failure."""
+    sim = Simulator()
+    caught = []
+
+    def child():
+        yield Timeout(1.0)
+        raise RuntimeError("crashed")
+
+    # no waiter: the exception aborts run()
+    proc = sim.spawn(child())
+    with pytest.raises(RuntimeError, match="crashed"):
+        sim.run()
+    assert sim.now == 1.0
+
+    # late waiter: arrives after the failure, still sees the exception
+    def late():
+        try:
+            yield proc
+        except RuntimeError as exc:
+            caught.append(("late", str(exc)))
+
+    sim.spawn(late())
+    sim.run()
+    assert caught == [("late", "crashed")]
+
+    # existing waiter: registered before the failure, exception delivered
+    # into the waiter instead of aborting the run
+    sim2 = Simulator()
+
+    def child2():
+        yield Timeout(1.0)
+        raise RuntimeError("crashed2")
+
+    def parent():
+        try:
+            yield sim2.spawn(child2())
+        except RuntimeError as exc:
+            caught.append(("existing", str(exc)))
+
+    sim2.spawn(parent())
+    sim2.run()
+    assert caught[-1] == ("existing", "crashed2")
 
 
 def test_spawn_rejects_non_generator():

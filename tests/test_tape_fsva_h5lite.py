@@ -5,7 +5,7 @@ import io
 import numpy as np
 import pytest
 
-from repro.fsva import FsvaConfig, WorkloadMix, relative_overhead, run_workload
+from repro.fsva import relative_overhead, run_workload
 from repro.fsva.model import STREAM_LIKE, UNTAR_LIKE
 from repro.h5lite import (
     H5LiteReader,

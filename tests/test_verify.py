@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.giga.mapping import GigaBitmap, hash_name
+from repro.giga.mapping import GigaBitmap
 from repro.plfs.intervalmap import IntervalMap
-from repro.verify import CheckResult, InvariantViolation, explore
+from repro.verify import InvariantViolation, explore
 
 
 # ------------------------------------------------------------- the engine
