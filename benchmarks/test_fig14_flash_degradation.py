@@ -6,9 +6,12 @@ periods, the SATA devices degrade hard.
 """
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import print_table
 from repro.devices import DEVICE_CATALOG, device_model
+
+pytestmark = pytest.mark.slow
 
 
 def run_fig14():

@@ -5,9 +5,12 @@ systems at metadata search", with partition-local index rebuilds.
 """
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import print_table
 from repro.metasearch import FlatScanIndex, PartitionedIndex, parse_query, synth_namespace
+
+pytestmark = pytest.mark.slow
 
 QUERIES = [
     ("project query", "project=3; ext=.h5"),

@@ -9,6 +9,7 @@ with reliability maintained.
 import time
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import print_table
 from repro.erasure import (
@@ -17,6 +18,8 @@ from repro.erasure import (
     mttdl_mirrored,
     mttdl_rs,
 )
+
+pytestmark = pytest.mark.slow
 
 
 def run_x7():

@@ -214,6 +214,133 @@ class SwitchPort:
         return f"SwitchPort({self.name}, {self.occupancy_pkts}/{cap if cap is not None else '∞'} pkts)"
 
 
+class FabricFeedback:
+    """EWMA-smoothed per-server congestion costs read back from the obs registry.
+
+    This is the sensing half of congestion-aware placement
+    (:class:`repro.placement.congestion.CongestionAwarePlacement`): it
+    snapshots the per-port metrics :class:`SwitchPort` exports
+    (``net.fabric.occupancy_pkts`` gauges, ``net.fabric.drops_pkts`` /
+    ``timeouts`` / ``bytes`` counters) at a configurable interval and
+    folds them into one exponentially-weighted cost per server port::
+
+        instant = occupancy / buffer_norm + drop_weight * new_drops
+        ewma    = instant + (ewma - instant) * (1 - alpha) ** elapsed_intervals
+
+    so placement reacts to *sustained* hot ports, not transient bursts.
+
+    Fault tolerance: a port whose metrics go **stale** (no counter or
+    gauge movement for ``stale_after_s`` — e.g. a stalled switch has
+    stopped exporting) contributes an instant cost of zero, so its EWMA
+    decays and consumers fall back to their baseline behaviour instead
+    of steering forever on frozen telemetry.  A missing registry
+    (``metrics=None``) reports all-zero costs and never raises —
+    feedback degrades, placement must not wedge.
+
+    ``now_fn`` supplies the sampling clock (typically ``lambda:
+    sim.now``); without one every :meth:`costs` call advances an
+    internal tick by one interval, i.e. refreshes unconditionally.
+    """
+
+    #: refresh steps folded per call are capped: past this many elapsed
+    #: intervals the EWMA has converged to the instant reading anyway.
+    MAX_STEPS = 64
+
+    def __init__(
+        self,
+        metrics,
+        n_servers: int,
+        *,
+        now_fn=None,
+        interval_s: float = 1e-3,
+        alpha: float = 0.5,
+        drop_weight: float = 0.1,
+        buffer_norm: float = 64.0,
+        stale_after_s: float = 5e-3,
+        port_prefix: str = "server",
+    ) -> None:
+        if n_servers < 1:
+            raise ValueError("need at least one server port")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if interval_s <= 0 or stale_after_s <= 0:
+            raise ValueError("interval_s and stale_after_s must be > 0")
+        self.metrics = metrics
+        self.n_servers = n_servers
+        self.now_fn = now_fn
+        self.interval_s = interval_s
+        self.alpha = alpha
+        self.drop_weight = drop_weight
+        self.buffer_norm = max(1.0, buffer_norm)
+        self.stale_after_s = stale_after_s
+        self.port_prefix = port_prefix
+        self._ewma = [0.0] * n_servers
+        self._last_t: Optional[float] = None
+        self._tick = 0.0                      # internal clock when now_fn is None
+        self._last_sig: list[Optional[tuple]] = [None] * n_servers
+        self._sig_changed_t = [0.0] * n_servers
+        self.stale = [False] * n_servers
+
+    def _signature(self, server: int) -> tuple:
+        m = self.metrics
+        port = f"{self.port_prefix}{server}"
+        return (
+            m.gauge("net.fabric.occupancy_pkts", port=port).value,
+            m.counter("net.fabric.drops_pkts", port=port).value,
+            m.counter("net.fabric.timeouts", port=port).value,
+            m.counter("net.fabric.bytes", port=port).value,
+        )
+
+    def refresh(self, now: Optional[float] = None) -> None:
+        """Fold a snapshot into the EWMA if at least one interval elapsed."""
+        if self.metrics is None:
+            return
+        if now is None:
+            now = self.now_fn() if self.now_fn is not None else self._tick
+        if self._last_t is None:
+            # first observation: seed the EWMA with the instant reading
+            self._last_t = now
+            for s in range(self.n_servers):
+                sig = self._signature(s)
+                self._last_sig[s] = sig
+                self._sig_changed_t[s] = now
+                self._ewma[s] = self._instant(s, sig, drops_delta=0.0)
+            return
+        elapsed = now - self._last_t
+        if elapsed < self.interval_s:
+            return
+        steps = min(self.MAX_STEPS, int(elapsed / self.interval_s))
+        decay = (1.0 - self.alpha) ** steps
+        for s in range(self.n_servers):
+            sig = self._signature(s)
+            prev = self._last_sig[s]
+            if sig != prev:
+                self._sig_changed_t[s] = now
+            self.stale[s] = (now - self._sig_changed_t[s]) >= self.stale_after_s
+            drops_delta = sig[1] - prev[1] if prev is not None else 0.0
+            instant = 0.0 if self.stale[s] else self._instant(s, sig, drops_delta)
+            self._ewma[s] = instant + (self._ewma[s] - instant) * decay
+            self._last_sig[s] = sig
+        self._last_t = now
+
+    def _instant(self, server: int, sig: tuple, drops_delta: float) -> float:
+        occupancy = sig[0]
+        return occupancy / self.buffer_norm + self.drop_weight * max(0.0, drops_delta)
+
+    def costs(self, now: Optional[float] = None) -> list[float]:
+        """Current per-server congestion costs (refreshing first)."""
+        if self.metrics is None:
+            return [0.0] * self.n_servers
+        if now is None and self.now_fn is None:
+            self._tick += self.interval_s
+        self.refresh(now)
+        return list(self._ewma)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{c:.3f}" for c in self._ewma)
+        return f"FabricFeedback([{inner}])"
+
+
 class Topology:
     """Client NICs → switch → server NICs, driven as simulation processes.
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 
 @dataclass(frozen=True)
@@ -72,24 +72,99 @@ class StripeLayout:
         becomes one big server write; with many servers merging only joins
         the degenerate adjacent cases.
         """
-        merged: list[Extent] = []
-        by_server: dict[int, Extent] = {}
-        for ext in self.extents(offset, length, shift=shift):
-            prev = by_server.get(ext.server)
-            if (
-                prev is not None
-                and prev.server_offset + prev.length == ext.server_offset
-                and merged
-                and merged[-1] is prev
-            ):
-                merged[-1] = Extent(
-                    server=ext.server,
-                    server_offset=prev.server_offset,
-                    logical_offset=prev.logical_offset,
-                    length=prev.length + ext.length,
+        return merge_extents(self.extents(offset, length, shift=shift))
+
+
+def merge_extents(extents: Iterable[Extent]) -> list[Extent]:
+    """Merge server-locally contiguous runs of logically adjacent extents."""
+    merged: list[Extent] = []
+    by_server: dict[int, Extent] = {}
+    for ext in extents:
+        prev = by_server.get(ext.server)
+        if (
+            prev is not None
+            and prev.server_offset + prev.length == ext.server_offset
+            and merged
+            and merged[-1] is prev
+        ):
+            merged[-1] = Extent(
+                server=ext.server,
+                server_offset=prev.server_offset,
+                logical_offset=prev.logical_offset,
+                length=prev.length + ext.length,
+            )
+            by_server[ext.server] = merged[-1]
+        else:
+            merged.append(ext)
+            by_server[ext.server] = ext
+    return merged
+
+
+class PlacedLayout:
+    """Strategy-driven chunk→server mapping, sticky per ``(file, chunk)``.
+
+    The pluggable sibling of :class:`StripeLayout`: a
+    :class:`repro.placement.strategies.PlacementStrategy` decides which
+    server holds each stripe chunk.  Because a strategy may be
+    *time-varying* (congestion-aware placement consults live fabric
+    metrics), the decision is made once — when a chunk is first touched,
+    i.e. when `SimPFS` assigns stripes for new data — and cached, so
+    re-writes and reads always find the bytes where they were placed.
+
+    ``server_offset`` uses per-server arrival order (the chunk's index
+    among this file's chunks on that server), matching how a server-side
+    object store would allocate space for whatever lands on it.
+    """
+
+    def __init__(self, strategy, stripe_unit: int) -> None:
+        if stripe_unit < 1:
+            raise ValueError("stripe_unit must be positive")
+        self.strategy = strategy
+        self.stripe_unit = stripe_unit
+        self._chunk_server: dict[tuple[int, int], int] = {}
+        self._chunk_local: dict[tuple[int, int], int] = {}
+        self._server_chunks: dict[tuple[int, int], int] = {}  # (file, server) -> count
+
+    @property
+    def n_servers(self) -> int:
+        return self.strategy.n_servers
+
+    def server_of(self, file_id: int, chunk: int) -> int:
+        """The chunk's server — decided on first touch, sticky after."""
+        key = (file_id, chunk)
+        server = self._chunk_server.get(key)
+        if server is None:
+            server = self.strategy.place(file_id, chunk)
+            if not 0 <= server < self.strategy.n_servers:
+                raise ValueError(
+                    f"strategy {self.strategy.name!r} placed chunk on "
+                    f"server {server} of {self.strategy.n_servers}"
                 )
-                by_server[ext.server] = merged[-1]
-            else:
-                merged.append(ext)
-                by_server[ext.server] = ext
-        return merged
+            self._chunk_server[key] = server
+            local = self._server_chunks.get((file_id, server), 0)
+            self._chunk_local[key] = local
+            self._server_chunks[(file_id, server)] = local + 1
+        return server
+
+    def extents(self, file_id: int, offset: int, length: int) -> Iterator[Extent]:
+        if offset < 0 or length < 0:
+            raise ValueError("offset/length must be non-negative")
+        unit = self.stripe_unit
+        pos = offset
+        end = offset + length
+        while pos < end:
+            chunk = pos // unit
+            within = pos - chunk * unit
+            take = min(unit - within, end - pos)
+            server = self.server_of(file_id, chunk)
+            local_chunk = self._chunk_local[(file_id, chunk)]
+            yield Extent(
+                server=server,
+                server_offset=local_chunk * unit + within,
+                logical_offset=pos,
+                length=take,
+            )
+            pos += take
+
+    def merged_extents(self, file_id: int, offset: int, length: int) -> list[Extent]:
+        return merge_extents(self.extents(file_id, offset, length))

@@ -29,6 +29,16 @@ class PFSParams:
         latency+bandwidth arithmetic; a finite ``buffer_pkts`` routes every
         request/reply through shared switch output ports with incast-style
         drop/timeout/window dynamics.
+    placement: stripe/server selection policy for new data.  ``None``
+        (default) keeps the historical shifted round-robin
+        :class:`~repro.pfs.layout.StripeLayout` — bit-identical with
+        every pre-knob configuration.  Otherwise a spec understood by
+        :func:`repro.placement.congestion.build_placement`: a
+        :class:`~repro.placement.strategies.PlacementStrategy` instance,
+        a factory callable, or a string such as ``"round-robin"``,
+        ``"crush"``, ``"raid-group-4"``, ``"congestion"`` /
+        ``"congestion:<base>"`` (fabric-feedback re-weighting; see
+        docs/placement.md).
     """
 
     name: str = "generic"
@@ -46,12 +56,16 @@ class PFSParams:
     write_buffer_bytes: int = 1 << 20
     disk: DiskParams = field(default_factory=lambda: SEVEN_K2_SATA)
     fabric: FabricParams = IDEAL_FABRIC
+    placement: object | None = None
 
     def with_servers(self, n: int) -> "PFSParams":
         return replace(self, n_servers=n)
 
     def with_fabric(self, fabric: FabricParams) -> "PFSParams":
         return replace(self, fabric=fabric)
+
+    def with_placement(self, placement) -> "PFSParams":
+        return replace(self, placement=placement)
 
 
 #: Lustre-like: 1 MB stripes, page-granular-ish locking modeled at 64 KB,

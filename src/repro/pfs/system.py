@@ -13,7 +13,8 @@ from typing import Optional, Sequence
 
 from repro.devices.disk import Disk
 from repro.net.fabric import Link, Topology
-from repro.pfs.layout import Extent, StripeLayout
+from repro.pfs.layout import Extent, PlacedLayout, StripeLayout
+from repro.placement.congestion import build_placement
 from repro.pfs.locks import BlockLockManager
 from repro.pfs.params import PFSParams
 from repro.pfs.security import NO_SECURITY, SecurityPolicy
@@ -174,6 +175,19 @@ class SimPFS:
             _StorageServer(sim, i, params, self.topology)
             for i in range(params.n_servers)
         ]
+        # pluggable stripe/server selection: None keeps the historical
+        # shifted round-robin StripeLayout path, bit for bit (the golden
+        # makespans in tests/test_fabric_equivalence.py pin this)
+        self.placement: Optional[PlacedLayout] = None
+        if params.placement is not None:
+            strategy = build_placement(
+                params.placement,
+                params.n_servers,
+                metrics=sim.obs.metrics if sim.obs is not None else None,
+                now_fn=lambda: sim.now,
+                fabric=params.fabric,
+            )
+            self.placement = PlacedLayout(strategy, params.stripe_unit)
         # metadata service: one or several independent servers; paths hash
         # across them (PLFS follow-on #1 / GIGA+-style distribution)
         self.mds_servers = [
@@ -200,6 +214,12 @@ class SimPFS:
     # -- helpers --------------------------------------------------------
     def _nic(self, client: int) -> Resource:
         return self.topology.client_nic(client)
+
+    def _extents_for(self, fh: FileHandle, offset: int, nbytes: int) -> list[Extent]:
+        """The request's per-server extents under the active layout policy."""
+        if self.placement is not None:
+            return self.placement.merged_extents(fh.file_id, offset, nbytes)
+        return self.layout.merged_extents(offset, nbytes, shift=fh.shift)
 
     def lookup(self, path: str) -> FileHandle:
         try:
@@ -314,7 +334,7 @@ class SimPFS:
             if lsp is not None:
                 lsp.finish(at=self.sim.now)
         # 2. security attach cost per server request
-        exts = self.layout.merged_extents(offset, nbytes, shift=fh.shift)
+        exts = self._extents_for(fh, offset, nbytes)
         by_server: dict[int, list[Extent]] = {}
         for ext in exts:
             by_server.setdefault(ext.server, []).append(ext)
@@ -366,7 +386,7 @@ class SimPFS:
             sp = obs.tracer.start(
                 "pfs.read", parent=parent_span, at=start, client=client, nbytes=nbytes
             )
-        exts = self.layout.merged_extents(offset, nbytes, shift=fh.shift)
+        exts = self._extents_for(fh, offset, nbytes)
         by_server: dict[int, list[Extent]] = {}
         for ext in exts:
             by_server.setdefault(ext.server, []).append(ext)

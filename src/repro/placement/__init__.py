@@ -13,8 +13,14 @@ strategy *families* behind those systems and the metrics the study used:
 
 Metrics: per-server load balance under a workload of file sizes, and the
 fraction of data that must move when the cluster grows.
+
+:mod:`repro.placement.congestion` closes the loop with the network
+fabric: :class:`CongestionAwarePlacement` wraps any strategy and
+re-weights its choice with live per-port occupancy/drop costs
+(see docs/placement.md).
 """
 
+from repro.placement.congestion import CongestionAwarePlacement, build_placement
 from repro.placement.strategies import (
     CrushLikePlacement,
     PlacementStrategy,
@@ -29,10 +35,12 @@ from repro.placement.evaluate import (
 )
 
 __all__ = [
+    "CongestionAwarePlacement",
     "CrushLikePlacement",
     "PlacementStrategy",
     "RaidGroupPlacement",
     "RoundRobinPlacement",
+    "build_placement",
     "imbalance",
     "load_distribution",
     "migration_fraction",

@@ -1,0 +1,173 @@
+"""Congestion-aware placement: fabric occupancy fed back into server choice.
+
+The report's placement study (§4.2.3) compares strategies on load
+balance and migration cost alone, but the finite-buffer fabric
+(:mod:`repro.net.fabric`) shows the real cost of a bad layout is
+congestion collapse at hot switch ports.  This module closes the loop:
+
+* :class:`CongestionAwarePlacement` wraps any
+  :class:`~repro.placement.strategies.PlacementStrategy` and re-weights
+  its server choice with live per-port costs from a
+  :class:`~repro.net.fabric.FabricFeedback` (EWMA-smoothed occupancy +
+  drop rates read from the obs registry);
+* :func:`build_placement` resolves the ``PFSParams.placement`` knob —
+  a strategy instance, a spec string (``"round-robin"``, ``"crush"``,
+  ``"raid-group-4"``, ``"congestion"``, ``"congestion:crush"`` …), or a
+  factory callable — into a bound strategy.
+
+Two invariants placement consumers rely on:
+
+* **degrade-to-base** — with no feedback, all-zero costs (idle fabric),
+  or stale telemetry (the EWMA decays to zero), ``place()`` returns
+  exactly the wrapped strategy's choice;
+* **structure-preserving diversion** — alternates are the servers the
+  base strategy uses for *neighbouring* chunks, so a RAID-group file
+  stays inside its group and a round-robin file stays in rotation order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.fabric import FabricFeedback
+from repro.placement.strategies import (
+    CrushLikePlacement,
+    PlacementStrategy,
+    RaidGroupPlacement,
+    RoundRobinPlacement,
+)
+
+
+class CongestionAwarePlacement(PlacementStrategy):
+    """Divert chunks off sustained-hot switch ports.
+
+    For each chunk the wrapped strategy's choice is compared against up
+    to ``fanout`` candidate servers (the base strategy's picks for the
+    next chunks); the chunk goes to the cheapest candidate under the
+    feedback's EWMA cost, with ties — including the all-idle case, where
+    every cost is at most ``idle_threshold`` — resolved in favour of the
+    base choice.  A diversion must win by at least ``hysteresis`` so
+    placement does not flap between near-equal ports.
+    """
+
+    def __init__(
+        self,
+        base: PlacementStrategy,
+        feedback: Optional[FabricFeedback] = None,
+        fanout: int = 4,
+        idle_threshold: float = 1e-3,
+        hysteresis: float = 0.05,
+    ) -> None:
+        super().__init__(base.n_servers, weights=base.weights)
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
+        if feedback is not None and feedback.n_servers != base.n_servers:
+            raise ValueError(
+                f"feedback covers {feedback.n_servers} servers, "
+                f"base strategy has {base.n_servers}"
+            )
+        self.base = base
+        self.feedback = feedback
+        self.fanout = fanout
+        self.idle_threshold = idle_threshold
+        self.hysteresis = hysteresis
+        self.diversions = 0  # chunks steered away from the base choice
+
+    @property
+    def name(self) -> str:
+        return f"congestion({self.base.name})"
+
+    def candidates(self, file_id: int, chunk: int) -> list[int]:
+        """Base choice first, then the base strategy's picks for the
+        following chunks (deduplicated) — alternates that respect the
+        wrapped strategy's structure (RAID group membership, rotation)."""
+        seen: list[int] = []
+        probe = 0
+        limit = 4 * self.fanout  # crush-like bases may repeat; bound the scan
+        while len(seen) < min(self.fanout, self.n_servers) and probe < limit:
+            s = self.base.place(file_id, chunk + probe)
+            if s not in seen:
+                seen.append(s)
+            probe += 1
+        return seen
+
+    def place(self, file_id: int, chunk: int) -> int:
+        choice = self.base.place(file_id, chunk)
+        if self.feedback is None:
+            return choice
+        costs = self.feedback.costs()
+        if max(costs) <= self.idle_threshold:
+            return choice
+        best, best_cost = choice, costs[choice]
+        for s in self.candidates(file_id, chunk):
+            if costs[s] < best_cost - self.hysteresis:
+                best, best_cost = s, costs[s]
+        if best != choice:
+            self.diversions += 1
+        return best
+
+
+_BASE_SPECS: dict[str, Callable[[int], PlacementStrategy]] = {
+    "round-robin": RoundRobinPlacement,
+    "rr": RoundRobinPlacement,
+    "crush": CrushLikePlacement,
+    "crush-like": CrushLikePlacement,
+}
+
+
+def _build_base(spec: str, n_servers: int) -> PlacementStrategy:
+    maker = _BASE_SPECS.get(spec)
+    if maker is not None:
+        return maker(n_servers)
+    if spec.startswith("raid-group"):
+        tail = spec[len("raid-group"):]
+        size = int(tail.lstrip("-")) if tail else 4
+        return RaidGroupPlacement(n_servers, group_size=min(size, n_servers))
+    raise ValueError(f"unknown placement spec {spec!r}")
+
+
+def build_placement(
+    spec,
+    n_servers: int,
+    *,
+    metrics=None,
+    now_fn=None,
+    fabric=None,
+    **feedback_knobs,
+) -> PlacementStrategy:
+    """Resolve the ``PFSParams.placement`` knob into a bound strategy.
+
+    ``spec`` may be a :class:`PlacementStrategy` (used as-is), a factory
+    callable ``f(n_servers, metrics=…, now_fn=…, fabric=…)``, or a spec
+    string.  ``"congestion"`` (optionally ``"congestion:<base>"``) wraps
+    the base in :class:`CongestionAwarePlacement` with a
+    :class:`~repro.net.fabric.FabricFeedback` bound to ``metrics`` /
+    ``now_fn``; with ``metrics=None`` (no active obs bundle) the wrapper
+    carries no feedback and behaves exactly like its base.
+    """
+    if isinstance(spec, PlacementStrategy):
+        if spec.n_servers != n_servers:
+            raise ValueError(
+                f"placement strategy built for {spec.n_servers} servers, "
+                f"deployment has {n_servers}"
+            )
+        return spec
+    if callable(spec):
+        return spec(n_servers, metrics=metrics, now_fn=now_fn, fabric=fabric)
+    if not isinstance(spec, str):
+        raise TypeError(f"placement spec must be a strategy, callable, or str, got {type(spec)}")
+    if spec == "congestion" or spec.startswith("congestion:"):
+        base_spec = spec.partition(":")[2] or "round-robin"
+        base = _build_base(base_spec, n_servers)
+        feedback = None
+        if metrics is not None:
+            buffer_pkts = getattr(fabric, "buffer_pkts", None)
+            feedback = FabricFeedback(
+                metrics,
+                n_servers,
+                now_fn=now_fn,
+                buffer_norm=float(buffer_pkts) if buffer_pkts else 64.0,
+                **feedback_knobs,
+            )
+        return CongestionAwarePlacement(base, feedback=feedback)
+    return _build_base(spec, n_servers)

@@ -59,10 +59,19 @@ def _total_bytes(pattern: Pattern) -> int:
     return sum(n for rank in pattern for _, n in rank)
 
 
-def _with_fabric(params: PFSParams, fabric: Optional[FabricParams]) -> PFSParams:
-    """Overlay a network-fabric configuration onto the FS parameters, so the
-    direct-vs-PLFS comparison can be run under congested networks."""
-    return params if fabric is None else replace(params, fabric=fabric)
+def _with_fabric(
+    params: PFSParams,
+    fabric: Optional[FabricParams],
+    placement: object | None = None,
+) -> PFSParams:
+    """Overlay network-fabric / placement configuration onto the FS
+    parameters, so the direct-vs-PLFS comparison can be run under
+    congested networks and alternative stripe/server selection."""
+    if fabric is not None:
+        params = replace(params, fabric=fabric)
+    if placement is not None:
+        params = replace(params, placement=placement)
+    return params
 
 
 def run_direct_n1(
@@ -70,9 +79,10 @@ def run_direct_n1(
     pattern: Pattern,
     path: str = "/ckpt",
     fabric: Optional[FabricParams] = None,
+    placement: object | None = None,
 ) -> CheckpointResult:
     """All ranks write their records into one shared file at logical offsets."""
-    params = _with_fabric(params, fabric)
+    params = _with_fabric(params, fabric, placement)
     sim = Simulator()
     pfs = SimPFS(sim, params)
     sim.spawn(pfs.op_create(0, path))
@@ -120,6 +130,7 @@ def run_plfs(
     index_record_bytes: int = INDEX_RECORD_BYTES,
     compression_ratio: float = 1.0,
     fabric: Optional[FabricParams] = None,
+    placement: object | None = None,
 ) -> CheckpointResult:
     """Same pattern through PLFS: per-rank sequential logs + index stream.
 
@@ -134,7 +145,7 @@ def run_plfs(
     """
     if compression_ratio < 1.0:
         raise ValueError("compression_ratio must be >= 1")
-    params = _with_fabric(params, fabric)
+    params = _with_fabric(params, fabric, placement)
     sim = Simulator()
     pfs = SimPFS(sim, params)
     start = sim.now
@@ -206,6 +217,7 @@ def run_readback(
     readers: int = 4,
     path: str = "/ckpt",
     fabric: Optional[FabricParams] = None,
+    placement: object | None = None,
 ) -> CheckpointResult:
     """Read the checkpoint back N-to-1 (restart / analysis, PDSW'09
     "...And eat it too: high read performance in write-optimized HPC I/O").
@@ -222,7 +234,7 @@ def run_readback(
       within a small factor of direct — the PDSW'09 result.
     """
     total = _total_bytes(pattern)
-    params = _with_fabric(params, fabric)
+    params = _with_fabric(params, fabric, placement)
     sim = Simulator()
     pfs = SimPFS(sim, params)
     n_writers = len(pattern)

@@ -128,14 +128,16 @@ def run_ior_sim(
     params: PFSParams,
     via_plfs: bool,
     fabric: Optional[FabricParams] = None,
+    placement: object | None = None,
 ) -> CheckpointResult:
     """Bandwidth of the same pattern on the simulated PFS.
 
     ``fabric`` overlays a network-fabric configuration (e.g. finite
-    switch buffers) so the direct-vs-PLFS comparison can be run under
-    congested networks.
+    switch buffers) and ``placement`` a stripe/server selection policy
+    (e.g. ``"congestion"``), so the direct-vs-PLFS comparison can be run
+    under congested networks and congestion-aware layouts.
     """
     pattern = config.as_pattern()
     if via_plfs:
-        return run_plfs(params, pattern, fabric=fabric)
-    return run_direct_n1(params, pattern, fabric=fabric)
+        return run_plfs(params, pattern, fabric=fabric, placement=placement)
+    return run_direct_n1(params, pattern, fabric=fabric, placement=placement)

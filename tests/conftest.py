@@ -1,0 +1,31 @@
+"""Shared fixtures for the unit-test suite.
+
+Unlike the benchmarks (whose conftest attaches a fresh
+``repro.obs.Observability`` per bench), unit tests historically ran with
+whatever bundle a previous test left behind: ``repro.obs.activate`` sets
+a module-level global, so a test that activated a bundle without
+deactivating leaked its registry — metric state, span lists, clock
+ticks — into every later test in the process, and `Simulator`s built
+there silently recorded into the stale registry.
+
+``_obs_isolation`` pins the contract instead: every test starts from the
+observability state it inherited and any bundle it activates is torn
+down afterwards (see ``tests/test_obs_isolation.py`` for the regression
+pair proving it).
+"""
+
+import pytest
+
+from repro import obs as obs_mod
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Reset the global observability bundle after every test."""
+    previous = obs_mod.current()
+    yield
+    if obs_mod.current() is not previous:
+        if previous is None:
+            obs_mod.deactivate()
+        else:
+            obs_mod.activate(previous)

@@ -9,6 +9,8 @@ fabric configuration is no longer bit-stable with the historical model —
 that is a regression, not a tolerance issue.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.net.fabric import FabricParams, IDEAL_FABRIC
@@ -82,6 +84,35 @@ def test_explicit_ideal_fabric_equals_default():
     assert a.makespan_s == b.makespan_s == GOLDEN_MAKESPANS[
         ("generic", "n1-strided", "direct")
     ]
+
+
+def test_placement_knob_defaults_to_none():
+    """The placement knob ships off: no personality opts in implicitly."""
+    assert PFSParams().placement is None
+    for params in PERSONALITIES.values():
+        assert params.placement is None
+
+
+@pytest.mark.parametrize("pname", sorted(PERSONALITIES))
+@pytest.mark.parametrize("pattern", sorted(SEED_IOR))
+def test_placement_none_keeps_goldens_bit_identical(pname, pattern):
+    """Explicitly setting placement=None takes the legacy StripeLayout
+    path: every pinned makespan stays bit-identical, striding and
+    personality alike."""
+    params = dataclasses.replace(PERSONALITIES[pname], placement=None)
+    cfg = SEED_IOR[pattern]
+    direct = run_direct_n1(params, cfg.as_pattern())
+    plfs = run_plfs(params, cfg.as_pattern())
+    assert direct.makespan_s == GOLDEN_MAKESPANS[(pname, pattern, "direct")]
+    assert plfs.makespan_s == GOLDEN_MAKESPANS[(pname, pattern, "plfs")]
+
+
+@pytest.mark.parametrize("via_plfs", [False, True])
+def test_placement_none_keeps_readback_goldens(via_plfs):
+    cfg = SEED_IOR["n1-strided"]
+    params = dataclasses.replace(PFSParams(), placement=None)
+    res = run_readback(params, cfg.as_pattern(), via_plfs=via_plfs)
+    assert res.makespan_s == GOLDEN_READBACK[via_plfs]
 
 
 def test_finite_buffers_change_the_answer():
