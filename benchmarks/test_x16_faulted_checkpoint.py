@@ -1,0 +1,148 @@
+"""X16 — faulted checkpointing: measured utilization vs the Daly model.
+
+Figure 5's argument rests on Daly's closed form for effective utilization
+(:func:`repro.failure.checkpoint.expected_utilization`).  This bench
+validates it end to end: an application computes in ``TAU_S`` segments
+and dumps IOR-style N-1 checkpoints through the *degraded-mode* PFS while
+a synthetic LANL interrupt trace (``repro.failure.traces``) drives a
+:class:`repro.faults.FaultSchedule` that both interrupts the application
+and crashes storage servers under it.
+
+* With ``redundancy="rs:4+2"`` the workload must complete with **zero
+  data loss** even while servers are down — restores reconstruct lost
+  stripes from surviving shares (Reed-Solomon over GF(256)), dumps
+  redirect around dead servers — and the measured utilization must track
+  ``expected_utilization`` within ``TOLERANCE``.
+* With ``redundancy="none"`` the very same schedule kills the run with
+  :class:`repro.faults.RetriesExhausted`: the retry budget cannot bridge
+  a 30 s outage.
+
+The expected value uses the *empirical* MTTI (makespan / failures) and
+the *measured* mean dump time, so the comparison checks the model's
+structure, not the trace generator's sampling noise.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.failure.checkpoint import expected_utilization
+from repro.failure.traces import synth_interrupt_trace
+from repro.faults import FaultEvent, FaultSchedule, ResilienceParams, RetriesExhausted
+from repro.pfs.params import PFSParams
+from repro.workloads.checkpoint import run_faulted_checkpoint
+
+N_SERVERS = 8
+N_RANKS = 4
+WORK_S = 600.0
+TAU_S = 20.0
+RESTART_S = 5.0
+CKPT_BYTES = 32 << 20
+HORIZON_S = 1000.0
+DOWNTIME_S = 30.0
+N_CHIPS = 12
+TOLERANCE = 0.15
+
+
+def build_schedule(seed: int) -> FaultSchedule:
+    """Interrupt trace -> app interrupts + server outages.
+
+    Every interrupt stops the application; every other one also crashes a
+    (seeded-random) storage server for ``DOWNTIME_S`` — long enough that
+    the next dump and the restart's restore both run degraded.
+    """
+    rng = np.random.default_rng(seed)
+    trace = synth_interrupt_trace("x16", n_chips=N_CHIPS, years=5.0, rng=rng)
+    app = FaultSchedule.from_interrupt_trace(
+        trace, horizon_s=HORIZON_S, kind="app_interrupt"
+    )
+    events = list(app.events)
+    srv_rng = np.random.default_rng(seed + 100)
+    for i, t in enumerate(app.app_interrupt_times()):
+        if i % 2 == 0:
+            server = int(srv_rng.integers(0, N_SERVERS))
+            events.append(FaultEvent(t, "server_crash", target=server))
+            events.append(FaultEvent(t + DOWNTIME_S, "server_recover", target=server))
+    return FaultSchedule(events, name=f"x16:{seed}")
+
+
+def run_one(seed: int, redundancy):
+    params = PFSParams(
+        n_servers=N_SERVERS,
+        redundancy=redundancy,
+        resilience=ResilienceParams() if redundancy is None else None,
+    )
+    res = run_faulted_checkpoint(
+        params,
+        work_s=WORK_S,
+        tau_s=TAU_S,
+        ckpt_bytes=CKPT_BYTES,
+        n_ranks=N_RANKS,
+        restart_s=RESTART_S,
+        faults=build_schedule(seed),
+    )
+    mtti_emp = res.makespan_s / max(res.failures, 1)
+    expected = expected_utilization(mtti_emp, res.dump_s_mean, TAU_S, RESTART_S)
+    return res, expected
+
+
+def _counters(obs) -> dict:
+    return obs.metrics.snapshot()["counters"]
+
+
+def test_x16_faulted_checkpoint(run_once, job_observability):
+    res, expected = run_once(run_one, 7, "rs:4+2")
+    counters = _counters(job_observability)
+    print_table(
+        "X16: rs:4+2 checkpointing under LANL-style interrupts (seed 7)",
+        ["metric", "value"],
+        [
+            ["failures", res.failures],
+            ["checkpoints", res.checkpoints],
+            ["restores", res.restores],
+            ["server downtime (s)", f"{res.server_downtime_s:.0f}"],
+            ["reconstructions", int(counters.get("faults.reconstructions", 0))],
+            ["redirected writes", int(counters.get("faults.redirected_requests", 0))],
+            ["mean dump (s)", f"{res.dump_s_mean:.3f}"],
+            ["measured utilization", f"{res.utilization:.3f}"],
+            ["Daly expected", f"{expected:.3f}"],
+        ],
+        widths=[24, 14],
+    )
+    # completion with zero data loss while at least one server was down
+    assert not res.data_loss
+    assert res.server_downtime_s > 0.0
+    assert res.failures > 0 and res.restores > 0
+    # degraded machinery genuinely engaged: reads reconstructed from
+    # surviving RS shares, writes redirected off dead servers
+    assert counters.get("faults.reconstructions", 0) > 0
+    assert counters.get("faults.redirected_requests", 0) > 0
+    # the Daly model predicts the measured effective utilization
+    assert res.utilization == pytest.approx(expected, rel=TOLERANCE)
+
+
+def test_x16_no_redundancy_dies(run_once):
+    """Same trace, no redundancy: a 30 s outage outlives the retry budget."""
+    with pytest.raises(RetriesExhausted):
+        run_once(run_one, 7, None)
+
+
+@pytest.mark.slow
+def test_x16_interrupt_trace_sweep(job_observability):
+    """Full sweep: the model tracks measurement across trace seeds."""
+    rows = []
+    for seed in (7, 11, 13, 42, 99):
+        res, expected = run_one(seed, "rs:4+2")
+        rel = abs(res.utilization - expected) / expected
+        rows.append(
+            [seed, res.failures, res.restores, f"{res.utilization:.3f}",
+             f"{expected:.3f}", f"{rel:.3f}"]
+        )
+        assert not res.data_loss, seed
+        assert res.utilization == pytest.approx(expected, rel=TOLERANCE), seed
+    print_table(
+        "X16 sweep: measured vs Daly utilization across interrupt traces",
+        ["seed", "failures", "restores", "measured", "expected", "rel err"],
+        rows,
+        widths=[6, 10, 10, 10, 10, 9],
+    )

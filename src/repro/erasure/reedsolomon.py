@@ -8,6 +8,8 @@ subset invertible), the construction the PDSI GPU-RAID work accelerates.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.erasure.gf256 import GF256
@@ -22,6 +24,20 @@ class ReedSolomon:
         self.k = k
         self.m = m
         self.matrix = self._systematic_vandermonde(k, m)
+
+    @property
+    def n(self) -> int:
+        """Total share count (data + parity)."""
+        return self.k + self.m
+
+    @property
+    def max_erasures(self) -> int:
+        """Simultaneous share losses the code survives."""
+        return self.m
+
+    def can_decode(self, available: "set[int] | Sequence[int]") -> bool:
+        """Whether the available share indices suffice to recover the data."""
+        return len({i for i in available if 0 <= i < self.n}) >= self.k
 
     @staticmethod
     def _systematic_vandermonde(k: int, m: int) -> np.ndarray:

@@ -35,6 +35,21 @@ class InterruptTrace:
     def interrupts_per_year(self) -> float:
         return self.n_interrupts / self.years
 
+    def mtti_years(self) -> float:
+        """Empirical mean time to interrupt (observation window / count)."""
+        if self.n_interrupts == 0:
+            return float("inf")
+        return self.years / self.n_interrupts
+
+    def times_in_seconds(self, horizon_s: float) -> np.ndarray:
+        """Interrupt times scaled linearly from ``[0, years)`` onto
+        ``[0, horizon_s)`` simulated seconds — the bridge from the
+        calendar-scale trace generators to discrete-event fault
+        schedules (:class:`repro.faults.FaultSchedule`)."""
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        return self.interrupt_times * (horizon_s / self.years)
+
 
 def synth_interrupt_trace(
     system: str,

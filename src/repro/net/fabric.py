@@ -142,6 +142,7 @@ class SwitchPort:
         self.fabric = fabric
         self.name = name
         self.occupancy_pkts = 0
+        self.down = False  # fault injection: blacked-out port delivers nothing
         self.res: Optional[Resource] = (
             Resource(sim, capacity=1, name=f"{name}.link") if sim is not None else None
         )
@@ -151,13 +152,15 @@ class SwitchPort:
             self._c_timeouts = m.counter("net.fabric.timeouts", port=name)
             self._c_retransmits = m.counter("net.fabric.retransmits", port=name)
             self._c_bytes = m.counter("net.fabric.bytes", port=name)
+            self._c_blackouts = m.counter("net.fabric.blackouts", port=name)
             self._g_occupancy = m.gauge("net.fabric.occupancy_pkts", port=name)
             self._h_occupancy = m.histogram(
                 "net.fabric.occupancy_pkts.hist", buckets=OCCUPANCY_BUCKETS, port=name
             )
         else:
             self._c_drops = self._c_timeouts = self._c_retransmits = None
-            self._c_bytes = self._g_occupancy = self._h_occupancy = None
+            self._c_bytes = self._c_blackouts = None
+            self._g_occupancy = self._h_occupancy = None
 
     # -- geometry ------------------------------------------------------
     @property
@@ -177,9 +180,19 @@ class SwitchPort:
 
     # -- buffer accounting --------------------------------------------
     def free_pkts(self) -> int:
+        if self.down:
+            # blacked out: admits nothing, so windowed flows see a
+            # full-window loss and sit out RTOs until the port restores
+            return 0
         if self.fabric.buffer_pkts is None:
             return 1 << 62
         return max(0, self.fabric.buffer_pkts - self.occupancy_pkts)
+
+    def set_down(self, down: bool) -> None:
+        """Blackout (or restore) the port; counted once per transition."""
+        if down and not self.down and self._c_blackouts is not None:
+            self._c_blackouts.inc()
+        self.down = down
 
     def admit(self, pkts: int) -> None:
         self.occupancy_pkts += pkts
@@ -402,6 +415,19 @@ class Topology:
             )
             self._client_ports[client] = port
         return port
+
+    # -- fault injection ----------------------------------------------
+    def set_port_down(self, server: int, down: bool) -> None:
+        """Blackout/restore a *server* switch port (fault injection).
+
+        Only meaningful under a finite-buffer fabric: the windowed
+        process path finds ``free_pkts() == 0`` and RTO-loops until the
+        port restores.  Under the ideal fabric transfers never touch the
+        switch ports, so a blackout records the transition (metrics)
+        but costs nothing — crash the server itself to model
+        unreachability there.
+        """
+        self.server_ports[server].set_down(down)
 
     # -- ideal-path arithmetic ----------------------------------------
     def request_cost_s(self, nbytes: int) -> float:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.devices.disk import DiskParams, SEVEN_K2_SATA
+from repro.faults.resilience import RedundancySpec, ResilienceParams
 from repro.net.fabric import FabricParams, IDEAL_FABRIC
 
 
@@ -39,6 +40,19 @@ class PFSParams:
         ``"crush"``, ``"raid-group-4"``, ``"congestion"`` /
         ``"congestion:<base>"`` (fabric-feedback re-weighting; see
         docs/placement.md).
+    redundancy: data redundancy for degraded-mode operation.  ``None``
+        (default) keeps the historical single-copy assume-success path
+        bit-identical.  Otherwise a spec understood by
+        :meth:`repro.faults.RedundancySpec.parse` — ``"mirror:<c>"`` or
+        ``"rs:<k>+<m>"`` (Reed-Solomon parity via
+        :mod:`repro.erasure.reedsolomon`); reads that hit a dead server
+        reconstruct from surviving stripes instead of failing (see
+        docs/faults.md).
+    resilience: client retry machinery
+        (:class:`repro.faults.ResilienceParams`: per-op timeout, retry
+        budget, capped exponential backoff + jitter).  ``None`` keeps the
+        legacy no-timeout path; setting ``redundancy`` implies a default
+        ``ResilienceParams()`` if none is given.
     """
 
     name: str = "generic"
@@ -57,6 +71,8 @@ class PFSParams:
     disk: DiskParams = field(default_factory=lambda: SEVEN_K2_SATA)
     fabric: FabricParams = IDEAL_FABRIC
     placement: object | None = None
+    redundancy: str | RedundancySpec | None = None
+    resilience: ResilienceParams | None = None
 
     def with_servers(self, n: int) -> "PFSParams":
         return replace(self, n_servers=n)
@@ -66,6 +82,12 @@ class PFSParams:
 
     def with_placement(self, placement) -> "PFSParams":
         return replace(self, placement=placement)
+
+    def with_redundancy(self, redundancy: str | RedundancySpec | None) -> "PFSParams":
+        return replace(self, redundancy=redundancy)
+
+    def with_resilience(self, resilience: ResilienceParams | None) -> "PFSParams":
+        return replace(self, resilience=resilience)
 
 
 #: Lustre-like: 1 MB stripes, page-granular-ish locking modeled at 64 KB,

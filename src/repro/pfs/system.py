@@ -11,14 +11,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.devices.disk import Disk
+from repro.erasure.reedsolomon import ReedSolomon
+from repro.faults.errors import FaultError, OpTimeout, RetriesExhausted, ServerDown
+from repro.faults.resilience import RedundancySpec, ResilienceParams
 from repro.net.fabric import Link, Topology
 from repro.pfs.layout import Extent, PlacedLayout, StripeLayout
 from repro.placement.congestion import build_placement
 from repro.pfs.locks import BlockLockManager
 from repro.pfs.params import PFSParams
 from repro.pfs.security import NO_SECURITY, SecurityPolicy
-from repro.sim import Acquire, Event, Resource, Simulator, Store, Timeout, Wait
+from repro.sim import Acquire, Event, Resource, SimulationError, Simulator, Store, Timeout, Wait
 from repro.sim.stats import Counter
 
 
@@ -55,7 +60,21 @@ class _ServerRequest:
 
 
 class _StorageServer:
-    """One storage server: FIFO request queue, a fabric port, and a disk."""
+    """One storage server: FIFO request queue, a fabric port, and a disk.
+
+    Fault state (all opt-in; a server that is never crashed behaves — bit
+    for bit — like the historical always-up server):
+
+    * ``up`` — crash/recover toggle driven by :class:`repro.faults.
+      FaultSchedule` (or tests).  While down, dequeued requests are either
+      *rejected* (``done`` fails with :class:`~repro.faults.errors.
+      ServerDown`, the connection-refused flavor) or *parked* until
+      recovery (the silent-hang flavor: clients only notice via their own
+      op timeouts).  A request already in service when the crash lands
+      runs to completion — the model's simplification of in-flight I/O.
+    * ``slowdown`` — multiplier on disk service time (fault kind
+      ``disk_slowdown``); 1.0 is the exact no-op.
+    """
 
     def __init__(
         self, sim: Simulator, index: int, params: PFSParams, topology: Topology
@@ -69,6 +88,14 @@ class _StorageServer:
         # server-local space allocation: (file_id, chunk) -> disk offset
         self._alloc: dict[tuple[int, int], int] = {}
         self._alloc_next = 0
+        # availability / degradation state
+        self.up = True
+        self.park = False
+        self.slowdown = 1.0
+        self._down_since = 0.0
+        self._downtime = 0.0
+        self._up_event: Optional[Event] = None
+        self._down_span = None
         obs = sim.obs
         # one source of truth for per-server accounting: the component
         # counters mirror straight into the obs registry (labelled by server)
@@ -97,12 +124,71 @@ class _StorageServer:
             self._alloc_next += unit
         return base + within
 
+    # -- fault injection hooks (repro.faults.FaultSchedule drives these) ---
+    def crash(self, park: bool = False) -> None:
+        """Take the server down.  Idempotent; ``park`` picks the flavor."""
+        if not self.up:
+            self.park = park
+            return
+        self.up = False
+        self.park = park
+        self._down_since = self.sim.now
+        self._up_event = self.sim.event(f"osd{self.index}.up")
+        self.counters.add("crashes")
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.gauge("faults.servers_down").inc()
+            self._down_span = obs.tracer.start(
+                "faults.server_down", at=self.sim.now, server=self.index, park=park
+            )
+
+    def recover(self) -> None:
+        """Bring the server back; parked requests drain FIFO."""
+        if self.up:
+            return
+        self.up = True
+        self._downtime += self.sim.now - self._down_since
+        self.counters.add("recoveries")
+        ev, self._up_event = self._up_event, None
+        if ev is not None:
+            ev.succeed(self.sim.now)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.metrics.gauge("faults.servers_down").dec()
+        if self._down_span is not None:
+            self._down_span.finish(at=self.sim.now)
+            self._down_span = None
+
+    def set_disk_slowdown(self, multiplier: float) -> None:
+        if multiplier <= 0:
+            raise ValueError("disk slowdown multiplier must be positive")
+        self.slowdown = multiplier
+        self.counters.add("slowdowns")
+
+    def downtime_s(self) -> float:
+        """Cumulative seconds spent down (including a still-open outage)."""
+        total = self._downtime
+        if not self.up:
+            total += self.sim.now - self._down_since
+        return total
+
     def _serve(self):
         p = self.params
         fab = self.topology
         ideal = fab.fabric.ideal
         while True:
             req: _ServerRequest = yield self.queue.get()
+            if not self.up:
+                if self.park:
+                    # silent-hang flavor: hold the request until recovery,
+                    # then serve it (and the rest of the queue) FIFO
+                    while not self.up:
+                        yield Wait(self._up_event)
+                else:
+                    # connection-refused flavor: fail fast, zero sim time
+                    self.counters.add("requests_rejected")
+                    req.done.fail(ServerDown(self.index, self.sim.now))
+                    continue
             t0 = self.sim.now
             span = None
             if self._tracer is not None:
@@ -116,17 +202,18 @@ class _StorageServer:
             if ideal:
                 # uncontended: RPC + link serialization + disk, one interval
                 # (kept as a single accumulation so results stay bit-stable
-                # with the historical inline NIC arithmetic)
+                # with the historical inline NIC arithmetic; slowdown 1.0 is
+                # an exact float no-op)
                 t = fab.request_cost_s(req.nbytes)
                 for ext in req.extents:
                     off = self._disk_offset(req.file_id, ext.server_offset)
-                    t += self.disk.access(off, ext.length, write=req.write)
+                    t += self.disk.access(off, ext.length, write=req.write) * self.slowdown
                 yield Timeout(t)
             else:
                 disk_s = 0.0
                 for ext in req.extents:
                     off = self._disk_offset(req.file_id, ext.server_offset)
-                    disk_s += self.disk.access(off, ext.length, write=req.write)
+                    disk_s += self.disk.access(off, ext.length, write=req.write) * self.slowdown
                 if req.write:
                     # request payload converges on this server's switch port
                     yield Timeout(p.rpc_latency_s)
@@ -197,6 +284,30 @@ class SimPFS:
         self.mds = self.mds_servers[0]
         self._files: dict[str, FileHandle] = {}
         self._next_id = 0
+        # degraded-mode machinery (all opt-in; None/None keeps the historical
+        # assume-success data path bit-identical — pinned by the golden
+        # makespans in tests/test_fabric_equivalence.py)
+        self.redundancy: Optional[RedundancySpec] = RedundancySpec.parse(params.redundancy)
+        self.resilience: Optional[ResilienceParams] = params.resilience
+        if self.resilience is None and self.redundancy is not None:
+            self.resilience = ResilienceParams()
+        if self.redundancy is not None and params.n_servers < self.redundancy.min_servers:
+            raise ValueError(
+                f"redundancy {self.redundancy} needs >= {self.redundancy.min_servers} "
+                f"servers, have {params.n_servers}"
+            )
+        self._ft_rng = (
+            np.random.default_rng(self.resilience.seed)
+            if self.resilience is not None
+            else None
+        )
+        self._rs_codec: Optional[ReedSolomon] = (
+            ReedSolomon(self.redundancy.k, self.redundancy.m)
+            if self.redundancy is not None and self.redundancy.kind == "rs"
+            else None
+        )
+        # parity-share space allocation per (file_id, server)
+        self._parity_off: dict[tuple[int, int], int] = {}
         self.obs = sim.obs
         self.counters = Counter(
             registry=self.obs.metrics if self.obs else None, prefix="pfs."
@@ -306,6 +417,268 @@ class SimPFS:
             cache[client] = c
         return c
 
+    # -- degraded-mode data path --------------------------------------------
+    # Active only when params.resilience / params.redundancy are set; the
+    # legacy assume-success path above each branch is untouched so default
+    # configurations stay bit-identical.  See docs/faults.md.
+
+    def _fcount(self, name: str, amount: float = 1.0, **labels) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(f"faults.{name}", **labels).inc(amount)
+
+    def _note_fault(self, exc: FaultError) -> None:
+        if isinstance(exc, OpTimeout):
+            self._fcount("op_timeouts")
+        elif isinstance(exc, ServerDown):
+            self._fcount("server_down_errors")
+
+    def _down_servers(self) -> int:
+        return sum(1 for s in self.servers if not s.up)
+
+    def _next_up_server(self, server: int) -> Optional[int]:
+        """First up server after ``server`` in ring order, or None."""
+        n = self.params.n_servers
+        for j in range(1, n):
+            cand = (server + j) % n
+            if self.servers[cand].up:
+                return cand
+        return None
+
+    def _parity_extents(self, fh: FileHandle, server: int, nbytes: int) -> list[Extent]:
+        """Allocate parity-share space on ``server`` (own append-only region)."""
+        key = (fh.file_id, server)
+        off = self._parity_off.get(key, 0)
+        self._parity_off[key] = off + nbytes
+        return [Extent(server=server, server_offset=off, logical_offset=off, length=nbytes)]
+
+    def _parity_targets(self, by_server: dict, nbytes: int) -> list[tuple[int, int]]:
+        """(server, nbytes) redundancy writes for one striped request.
+
+        ``mirror:c`` replicates each per-server request on the next c-1
+        servers in ring order; ``rs:k+m`` adds m parity shares of
+        ``ceil(nbytes/k)`` bytes each, placed on non-data servers first.
+        """
+        red = self.redundancy
+        n = self.params.n_servers
+        if red.kind == "mirror":
+            out = []
+            for server, sexts in sorted(by_server.items()):
+                sbytes = sum(e.length for e in sexts)
+                for j in range(1, red.m + 1):
+                    out.append(((server + j) % n, sbytes))
+            return out
+        share = -(-nbytes // red.k)
+        start = (max(by_server) + 1) % n
+        ring = [(start + i) % n for i in range(n)]
+        order = [s for s in ring if s not in by_server] + [s for s in ring if s in by_server]
+        return [(order[j % len(order)], share) for j in range(red.m)]
+
+    def _ft_issue(self, fh, client, server, sexts, sbytes, write, parent_span, parity=False):
+        """Queue one server request, return its completion event."""
+        done = self.sim.event(f"ft:{'w' if write else 'r'}:{fh.file_id}@{server}")
+        self.servers[server].queue.put(
+            _ServerRequest(
+                file_id=-(fh.file_id + 1) if parity else fh.file_id,
+                client=client,
+                extents=sexts,
+                nbytes=sbytes,
+                write=write,
+                done=done,
+                parent_span=parent_span,
+            )
+        )
+        return done
+
+    def _ft_race(self, ev: Event, server: int, timeout_s: float) -> Event:
+        """Race ``ev`` against a per-op timeout.
+
+        Returns an event that succeeds/fails with ``ev``'s outcome, or fails
+        with :class:`OpTimeout` if the deadline fires first.  Simulator timers
+        cannot be cancelled, so a won race leaves a no-op callback pending —
+        drivers must therefore measure makespans from process finish times,
+        not the final ``sim.now``.
+        """
+        sim = self.sim
+        race = sim.event(f"ft.race@{server}")
+
+        def waiter():
+            try:
+                value = yield Wait(ev)
+            except FaultError as exc:
+                if not race.triggered:
+                    race.fail(exc)
+                return
+            if not race.triggered:
+                race.succeed(value)
+
+        sim.spawn(waiter(), name=f"ft.wait@{server}")
+
+        def expire():
+            if not race.triggered:
+                race.fail(OpTimeout(server, sim.now, timeout_s))
+
+        sim.call_after(timeout_s, expire)
+        return race
+
+    def _ft_write_child(self, fh, client, server, sexts, sbytes, parent_span, parity=False):
+        """Resilient single-server write: retries, backoff, failover.
+
+        Returns ``("ok", nbytes)`` or ``("err", RetriesExhausted)`` so the
+        parent — not the simulator crash path — decides how to fail.
+        """
+        ft = self.resilience
+        red = self.redundancy
+        attempts = 0
+        target = server
+        while True:
+            srv = self.servers[target]
+            if (
+                not srv.up
+                and red is not None
+                and self._down_servers() <= red.tolerance
+            ):
+                # degraded write: redirect this request to the next up server
+                alt = self._next_up_server(target)
+                if alt is not None:
+                    self._fcount("redirected_requests")
+                    self._fcount("redirected_bytes", sbytes)
+                    target = alt
+                    continue
+            exts = self._parity_extents(fh, target, sbytes) if parity or target != server else sexts
+            ev = self._ft_issue(fh, client, target, exts, sbytes, True, parent_span,
+                                parity=parity or target != server)
+            try:
+                yield Wait(self._ft_race(ev, target, ft.op_timeout_s))
+                return ("ok", sbytes)
+            except FaultError as exc:
+                self._note_fault(exc)
+                if attempts >= ft.max_retries:
+                    self._fcount("retries_exhausted")
+                    return ("err", RetriesExhausted(target, self.sim.now, attempts + 1, exc))
+                delay = ft.backoff_s(attempts, self._ft_rng)
+                self._fcount("retries")
+                if self.obs is not None:
+                    self.obs.metrics.histogram("faults.backoff_s").observe(delay)
+                attempts += 1
+                yield Timeout(delay)
+
+    def _ft_read_child(self, fh, client, server, sexts, sbytes, parent_span):
+        """Resilient single-server read; fails over to reconstruction."""
+        ft = self.resilience
+        red = self.redundancy
+        attempts = 0
+        while True:
+            srv = self.servers[server]
+            try:
+                if (
+                    not srv.up
+                    and red is not None
+                    and self._down_servers() <= red.tolerance
+                ):
+                    ok = yield from self._ft_reconstruct(fh, client, server, sbytes, parent_span)
+                    if ok:
+                        return ("ok", sbytes)
+                    # not enough surviving sources right now — retry later
+                    raise ServerDown(server, self.sim.now)
+                ev = self._ft_issue(fh, client, server, sexts, sbytes, False, parent_span)
+                yield Wait(self._ft_race(ev, server, ft.op_timeout_s))
+                return ("ok", sbytes)
+            except FaultError as exc:
+                self._note_fault(exc)
+                if attempts >= ft.max_retries:
+                    self._fcount("retries_exhausted")
+                    return ("err", RetriesExhausted(server, self.sim.now, attempts + 1, exc))
+                delay = ft.backoff_s(attempts, self._ft_rng)
+                self._fcount("retries")
+                if self.obs is not None:
+                    self.obs.metrics.histogram("faults.backoff_s").observe(delay)
+                attempts += 1
+                yield Timeout(delay)
+
+    def _ft_reconstruct(self, fh, client, server, sbytes, parent_span):
+        """Rebuild ``sbytes`` lost on a dead server from surviving shares.
+
+        RS reads ``sbytes`` from each of k surviving servers and pays a
+        decode cost; mirroring reads the single surviving copy.  Returns
+        False when too few sources are up (caller backs off and retries);
+        raises FaultError if a source itself fails mid-read.
+        """
+        red = self.redundancy
+        ft = self.resilience
+        n = self.params.n_servers
+        need = red.reconstruct_read_shares
+        sources = []
+        for j in range(1, n):
+            cand = (server + j) % n
+            if self.servers[cand].up:
+                sources.append(cand)
+            if len(sources) == need:
+                break
+        if len(sources) < need:
+            return False
+        span = None
+        if self.obs is not None:
+            span = self.obs.tracer.start(
+                "faults.reconstruct",
+                parent=parent_span,
+                at=self.sim.now,
+                server=server,
+                nbytes=sbytes,
+                kind=red.kind,
+            )
+        self._fcount("reconstructions")
+        self._fcount("reconstructed_bytes", sbytes)
+        events = [
+            self._ft_issue(
+                fh, client, src,
+                [Extent(server=src, server_offset=0, logical_offset=0, length=sbytes)],
+                sbytes, False, span if span is not None else parent_span, parity=True,
+            )
+            for src in sources
+        ]
+        try:
+            for src, ev in zip(sources, events):
+                yield Wait(self._ft_race(ev, src, ft.op_timeout_s))
+        except FaultError:
+            if span is not None:
+                span.finish(at=self.sim.now)
+            raise
+        if red.kind == "rs":
+            yield Timeout(sbytes * red.k / ft.decode_Bps)
+            self._rs_selfcheck(sbytes)
+        if span is not None:
+            span.finish(at=self.sim.now)
+        return True
+
+    def _rs_selfcheck(self, sbytes: int) -> None:
+        """Round-trip a real Reed-Solomon decode for this reconstruction.
+
+        A small synthetic payload keeps it cheap while making the degraded
+        path genuinely exercise :mod:`repro.erasure.reedsolomon` — a decode
+        bug fails the simulation instead of silently charging fantasy costs.
+        """
+        rs = self._rs_codec
+        payload = bytes((7 * i + 13) & 0xFF for i in range(min(max(sbytes, 1), 1024)))
+        shares = rs.encode(payload)
+        n_lost = min(self._down_servers(), rs.m)
+        available = {i: shares[i] for i in range(rs.n) if i >= n_lost}
+        decoded = rs.decode(available, len(payload))
+        if decoded != payload:
+            raise SimulationError(
+                f"Reed-Solomon self-check failed during reconstruction at "
+                f"t={self.sim.now:.6f}s (k={rs.k}, m={rs.m})"
+            )
+
+    def _ft_gather(self, procs):
+        """Await child processes; raise the first error after all finish."""
+        first_err = None
+        for proc in procs:
+            status, payload = yield proc
+            if status == "err" and first_err is None:
+                first_err = payload
+        if first_err is not None:
+            raise first_err
+
     # -- data operations ----------------------------------------------------
     def op_write(self, client: int, path: str, offset: int, nbytes: int, parent_span=None):
         """Write process: locks, client NIC, fan-out to servers, wait all."""
@@ -349,23 +722,50 @@ class SimPFS:
         if xsp is not None:
             xsp.finish(at=self.sim.now)
         # 4. issue to servers and wait for all
-        events = []
-        for server, sexts in by_server.items():
-            done = self.sim.event(f"w:{path}@{server}")
-            self.servers[server].queue.put(
-                _ServerRequest(
-                    file_id=fh.file_id,
-                    client=client,
-                    extents=sexts,
-                    nbytes=sum(e.length for e in sexts),
-                    write=True,
-                    done=done,
-                    parent_span=sp,
+        if self.resilience is None:
+            events = []
+            for server, sexts in by_server.items():
+                done = self.sim.event(f"w:{path}@{server}")
+                self.servers[server].queue.put(
+                    _ServerRequest(
+                        file_id=fh.file_id,
+                        client=client,
+                        extents=sexts,
+                        nbytes=sum(e.length for e in sexts),
+                        write=True,
+                        done=done,
+                        parent_span=sp,
+                    )
                 )
-            )
-            events.append(done)
-        for ev in events:
-            yield Wait(ev)
+                events.append(done)
+            for ev in events:
+                yield Wait(ev)
+        else:
+            # resilient path: one retrying child process per target server,
+            # plus redundancy writes (mirror copies / RS parity shares)
+            procs = []
+            for server, sexts in by_server.items():
+                sbytes = sum(e.length for e in sexts)
+                procs.append(
+                    self.sim.spawn(
+                        self._ft_write_child(fh, client, server, sexts, sbytes, sp),
+                        name=f"ftw:{fh.file_id}@{server}",
+                    )
+                )
+            if self.redundancy is not None:
+                ptargets = self._parity_targets(by_server, nbytes)
+                pbytes = sum(b for _, b in ptargets)
+                if pbytes:
+                    # redundant bytes also cross the client's host link
+                    yield from self.topology.client_xfer(client, pbytes)
+                for pserver, pb in ptargets:
+                    procs.append(
+                        self.sim.spawn(
+                            self._ft_write_child(fh, client, pserver, None, pb, sp, parity=True),
+                            name=f"ftp:{fh.file_id}@{pserver}",
+                        )
+                    )
+            yield from self._ft_gather(procs)
         fh.size = max(fh.size, offset + nbytes)
         self.counters.add("bytes_written", nbytes)
         if obs is not None:
@@ -393,23 +793,37 @@ class SimPFS:
         sec = self.security.per_io_s * len(by_server)
         if sec:
             yield Timeout(sec)
-        events = []
-        for server, sexts in by_server.items():
-            done = self.sim.event(f"r:{path}@{server}")
-            self.servers[server].queue.put(
-                _ServerRequest(
-                    file_id=fh.file_id,
-                    client=client,
-                    extents=sexts,
-                    nbytes=sum(e.length for e in sexts),
-                    write=False,
-                    done=done,
-                    parent_span=sp,
+        if self.resilience is None:
+            events = []
+            for server, sexts in by_server.items():
+                done = self.sim.event(f"r:{path}@{server}")
+                self.servers[server].queue.put(
+                    _ServerRequest(
+                        file_id=fh.file_id,
+                        client=client,
+                        extents=sexts,
+                        nbytes=sum(e.length for e in sexts),
+                        write=False,
+                        done=done,
+                        parent_span=sp,
+                    )
                 )
-            )
-            events.append(done)
-        for ev in events:
-            yield Wait(ev)
+                events.append(done)
+            for ev in events:
+                yield Wait(ev)
+        else:
+            # resilient path: retrying child per server; a child whose server
+            # is down fails over to erasure-coded / mirrored reconstruction
+            procs = [
+                self.sim.spawn(
+                    self._ft_read_child(
+                        fh, client, server, sexts, sum(e.length for e in sexts), sp
+                    ),
+                    name=f"ftr:{fh.file_id}@{server}",
+                )
+                for server, sexts in by_server.items()
+            ]
+            yield from self._ft_gather(procs)
         xsp = None
         if sp is not None:
             xsp = obs.tracer.start("pfs.xfer", parent=sp, at=self.sim.now, client=client)
@@ -425,7 +839,14 @@ class SimPFS:
     # -- reporting ------------------------------------------------------------
     def server_stats(self) -> list[dict]:
         return [
-            {**s.disk.stats(), **s.counters.as_dict(), "server": s.index}
+            {
+                **s.disk.stats(),
+                **s.counters.as_dict(),
+                "server": s.index,
+                "up": s.up,
+                "downtime_s": s.downtime_s(),
+                "requests_rejected": s.counters["requests_rejected"],
+            }
             for s in self.servers
         ]
 

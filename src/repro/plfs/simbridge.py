@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
+from repro.faults.resilience import RedundancySpec, ResilienceParams
+from repro.faults.schedule import FaultSchedule
 from repro.net.fabric import FabricParams
 from repro.pfs.params import PFSParams
 from repro.pfs.system import SimPFS
@@ -63,14 +65,21 @@ def _with_fabric(
     params: PFSParams,
     fabric: Optional[FabricParams],
     placement: object | None = None,
+    redundancy: "str | RedundancySpec | None" = None,
+    resilience: Optional[ResilienceParams] = None,
 ) -> PFSParams:
-    """Overlay network-fabric / placement configuration onto the FS
-    parameters, so the direct-vs-PLFS comparison can be run under
-    congested networks and alternative stripe/server selection."""
+    """Overlay network-fabric / placement / fault-tolerance configuration
+    onto the FS parameters, so the direct-vs-PLFS comparison can be run
+    under congested networks, alternative stripe/server selection, and
+    degraded-mode redundancy (see docs/faults.md)."""
     if fabric is not None:
         params = replace(params, fabric=fabric)
     if placement is not None:
         params = replace(params, placement=placement)
+    if redundancy is not None:
+        params = replace(params, redundancy=redundancy)
+    if resilience is not None:
+        params = replace(params, resilience=resilience)
     return params
 
 
@@ -80,20 +89,34 @@ def run_direct_n1(
     path: str = "/ckpt",
     fabric: Optional[FabricParams] = None,
     placement: object | None = None,
+    redundancy: "str | RedundancySpec | None" = None,
+    resilience: Optional[ResilienceParams] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> CheckpointResult:
-    """All ranks write their records into one shared file at logical offsets."""
-    params = _with_fabric(params, fabric, placement)
+    """All ranks write their records into one shared file at logical offsets.
+
+    ``faults`` injects a :class:`repro.faults.FaultSchedule` at measurement
+    start (event times are relative to the measured run, not file setup).
+    Makespans are measured from the last rank's finish time, not the final
+    ``sim.now`` — uncancellable per-op timeout timers from the resilient
+    client path may tick past the real completion.  In default
+    configurations the two coincide bit for bit.
+    """
+    params = _with_fabric(params, fabric, placement, redundancy, resilience)
     sim = Simulator()
     pfs = SimPFS(sim, params)
     sim.spawn(pfs.op_create(0, path))
     sim.run()
     start = sim.now
+    if faults is not None:
+        faults.inject(sim, pfs)
     obs = sim.obs
     root = (
         obs.tracer.start("checkpoint.run", at=start, scheme="direct-n1", fs=params.name)
         if obs is not None
         else None
     )
+    finish = [start]
 
     def rank_proc(rank: int, writes):
         rsp = (
@@ -106,18 +129,20 @@ def run_direct_n1(
             yield from pfs.op_write(rank, path, offset, nbytes, parent_span=rsp)
         if rsp is not None:
             rsp.finish(at=sim.now)
+        finish.append(sim.now)
 
     for rank, writes in enumerate(pattern):
         sim.spawn(rank_proc(rank, list(writes)))
     sim.run()
+    end = max(finish)
     if root is not None:
-        root.finish(at=sim.now)
+        root.finish(at=end)
     return CheckpointResult(
         scheme="direct-n1",
         fs_name=params.name,
         n_ranks=len(pattern),
         total_bytes=_total_bytes(pattern),
-        makespan_s=sim.now - start,
+        makespan_s=end - start,
         lock_migrations=pfs.total_lock_migrations(),
         disk_seeks=pfs.total_seeks(),
     )
@@ -131,6 +156,9 @@ def run_plfs(
     compression_ratio: float = 1.0,
     fabric: Optional[FabricParams] = None,
     placement: object | None = None,
+    redundancy: "str | RedundancySpec | None" = None,
+    resilience: Optional[ResilienceParams] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> CheckpointResult:
     """Same pattern through PLFS: per-rank sequential logs + index stream.
 
@@ -145,16 +173,19 @@ def run_plfs(
     """
     if compression_ratio < 1.0:
         raise ValueError("compression_ratio must be >= 1")
-    params = _with_fabric(params, fabric, placement)
+    params = _with_fabric(params, fabric, placement, redundancy, resilience)
     sim = Simulator()
     pfs = SimPFS(sim, params)
     start = sim.now
+    if faults is not None:
+        faults.inject(sim, pfs)
     obs = sim.obs
     root = (
         obs.tracer.start("checkpoint.run", at=start, scheme="plfs", fs=params.name)
         if obs is not None
         else None
     )
+    finish = [start]
 
     def rank_proc(rank: int, writes):
         rsp = (
@@ -182,18 +213,20 @@ def run_plfs(
             yield from pfs.op_write(rank, index_path, 0, idx_bytes, parent_span=rsp)
         if rsp is not None:
             rsp.finish(at=sim.now)
+        finish.append(sim.now)
 
     for rank, writes in enumerate(pattern):
         sim.spawn(rank_proc(rank, list(writes)))
     sim.run()
+    end = max(finish)
     if root is not None:
-        root.finish(at=sim.now)
+        root.finish(at=end)
     return CheckpointResult(
         scheme="plfs",
         fs_name=params.name,
         n_ranks=len(pattern),
         total_bytes=_total_bytes(pattern),
-        makespan_s=sim.now - start,
+        makespan_s=end - start,
         lock_migrations=pfs.total_lock_migrations(),
         disk_seeks=pfs.total_seeks(),
     )
@@ -218,6 +251,9 @@ def run_readback(
     path: str = "/ckpt",
     fabric: Optional[FabricParams] = None,
     placement: object | None = None,
+    redundancy: "str | RedundancySpec | None" = None,
+    resilience: Optional[ResilienceParams] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> CheckpointResult:
     """Read the checkpoint back N-to-1 (restart / analysis, PDSW'09
     "...And eat it too: high read performance in write-optimized HPC I/O").
@@ -234,7 +270,7 @@ def run_readback(
       within a small factor of direct — the PDSW'09 result.
     """
     total = _total_bytes(pattern)
-    params = _with_fabric(params, fabric, placement)
+    params = _with_fabric(params, fabric, placement, redundancy, resilience)
     sim = Simulator()
     pfs = SimPFS(sim, params)
     n_writers = len(pattern)
@@ -257,7 +293,10 @@ def run_readback(
         sim.spawn(make_flat())
     sim.run()
     start = sim.now
+    if faults is not None:
+        faults.inject(sim, pfs)
     part = total // readers
+    finish = [start]
 
     def direct_reader(r: int):
         pos = r * part
@@ -266,6 +305,7 @@ def run_readback(
             take = min(params.write_buffer_bytes, end - pos)
             yield from pfs.op_read(100 + r, path, pos, take)
             pos += take
+        finish.append(sim.now)
 
     def plfs_reader(r: int):
         # the reader's logical partition maps to ~1/readers of every log;
@@ -279,6 +319,7 @@ def run_readback(
                 take = min(params.write_buffer_bytes, end - pos)
                 yield from pfs.op_read(100 + r, p, pos, take)
                 pos += take
+        finish.append(sim.now)
 
     for r in range(readers):
         sim.spawn(plfs_reader(r) if via_plfs else direct_reader(r))
@@ -288,7 +329,7 @@ def run_readback(
         fs_name=params.name,
         n_ranks=readers,
         total_bytes=total,
-        makespan_s=sim.now - start,
+        makespan_s=max(finish) - start,
         lock_migrations=pfs.total_lock_migrations(),
         disk_seeks=pfs.total_seeks(),
     )

@@ -25,6 +25,10 @@ from repro.workloads.apps import (
     qcd_like,
     s3d_like,
 )
+from repro.workloads.checkpoint import (
+    FaultedCheckpointResult,
+    run_faulted_checkpoint,
+)
 from repro.workloads.s3d import S3DWeakScaling, predict_checkpoint_series
 from repro.workloads.metarates import MetaratesConfig, metarates_ops
 from repro.workloads.iozone import iozone_bandwidth_sweep, iozone_random_iops
@@ -32,6 +36,7 @@ from repro.workloads.iozone import iozone_bandwidth_sweep, iozone_random_iops
 __all__ = [
     "APP_CATALOG",
     "AppProfile",
+    "FaultedCheckpointResult",
     "MetaratesConfig",
     "S3DWeakScaling",
     "app_pattern",
@@ -46,6 +51,7 @@ __all__ = [
     "pattern_bytes",
     "predict_checkpoint_series",
     "qcd_like",
+    "run_faulted_checkpoint",
     "s3d_like",
     "with_jitter",
 ]

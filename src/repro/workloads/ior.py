@@ -129,6 +129,9 @@ def run_ior_sim(
     via_plfs: bool,
     fabric: Optional[FabricParams] = None,
     placement: object | None = None,
+    redundancy=None,
+    resilience=None,
+    faults=None,
 ) -> CheckpointResult:
     """Bandwidth of the same pattern on the simulated PFS.
 
@@ -136,8 +139,18 @@ def run_ior_sim(
     switch buffers) and ``placement`` a stripe/server selection policy
     (e.g. ``"congestion"``), so the direct-vs-PLFS comparison can be run
     under congested networks and congestion-aware layouts.
+    ``redundancy``/``resilience``/``faults`` run the same pattern in
+    degraded mode under an injected :class:`repro.faults.FaultSchedule`
+    (see docs/faults.md).
     """
     pattern = config.as_pattern()
-    if via_plfs:
-        return run_plfs(params, pattern, fabric=fabric, placement=placement)
-    return run_direct_n1(params, pattern, fabric=fabric, placement=placement)
+    run = run_plfs if via_plfs else run_direct_n1
+    return run(
+        params,
+        pattern,
+        fabric=fabric,
+        placement=placement,
+        redundancy=redundancy,
+        resilience=resilience,
+        faults=faults,
+    )
