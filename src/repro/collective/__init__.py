@@ -1,4 +1,4 @@
-"""Layout-aware collective I/O (report §5.4.2, ORNL close-out).
+"""Layout- and fabric-aware collective I/O (report §5.4.2, ORNL close-out).
 
 Two-phase collective I/O gathers the ranks' scattered requests at a few
 *aggregator* processes, which then write large contiguous *file domains*.
@@ -9,9 +9,23 @@ assignment aligns each domain to stripe-unit boundaries (and associates
 aggregators with servers), eliminating boundary read-modify-writes and
 cutting per-server request counts; the report measured ≥24% benefit,
 growing with process count.
+
+Fabric-aware assignment (:mod:`repro.collective.aggsel`) goes one layer
+deeper: both phases of the collective are synchronized fan-ins, so the
+aggregator count, the server-column placement, and the phase-1 shuffle
+concurrency are all chosen against the switch-port buffer math of
+:mod:`repro.net.fabric` — see docs/collective.md.
 """
 
+from repro.collective.aggsel import (
+    AggregatorPlan,
+    phase1_fanin_cap,
+    select_aggregators,
+    server_column_domains,
+    shuffle_matrix,
+)
 from repro.collective.twophase import (
+    SCHEMES,
     CollectiveConfig,
     CollectiveResult,
     aligned_domains,
@@ -20,9 +34,15 @@ from repro.collective.twophase import (
 )
 
 __all__ = [
+    "AggregatorPlan",
     "CollectiveConfig",
     "CollectiveResult",
+    "SCHEMES",
     "aligned_domains",
     "even_domains",
+    "phase1_fanin_cap",
     "run_collective_write",
+    "select_aggregators",
+    "server_column_domains",
+    "shuffle_matrix",
 ]

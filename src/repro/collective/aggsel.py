@@ -1,0 +1,241 @@
+"""Fabric-aware aggregator selection for two-phase collective I/O.
+
+Under a finite-buffer fabric the two phases of a collective write are
+themselves incasts: phase 1 converges every rank's shuffle flow on each
+aggregator's switch port, and phase 2 converges the aggregators' writes
+on the storage servers' ports.  The PDSI incast study shows what happens
+when such a synchronized fan-in exceeds a port's output buffer — full-
+window losses idle the flow for a (min-)RTO while the link sits dark.
+
+This module chooses the aggregator **count** and **placement** against
+:class:`repro.net.fabric.FabricParams` instead of from the file layout
+alone:
+
+* **count** — start from one aggregator per storage server (the most
+  phase-2 parallelism the servers can use) and shrink while the implied
+  per-flow shuffle slice is thinner than one initial congestion window:
+  sub-window flows pay pure round-trip latency per slice, so splitting
+  further cannot help;
+* **placement** — each aggregator's file domain is a *server column*:
+  the union of every stripe chunk living on that aggregator's group of
+  servers.  Phase-2 traffic into any server port then comes from exactly
+  one aggregator (fan-in 1), and domain boundaries are stripe-aligned so
+  no lock block is ever shared between aggregators;
+* **fan-in bound** — the phase-1 shuffle is throttled to
+  :meth:`repro.net.fabric.SwitchPort.safe_fanin` concurrent senders per
+  aggregator port: every admitted flow's initial window fits the port
+  buffer simultaneously, so the shuffle cannot trigger a full-window
+  loss (the RTO path).  An optional :class:`repro.net.fabric.
+  FabricFeedback` cost discounts the headroom of a port that is already
+  carrying background traffic.
+
+The ideal fabric degenerates gracefully: the fan-in cap becomes
+unbounded and the plan differs from the layout-aware scheme only in its
+server-column (rather than contiguous) domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.fabric import FabricParams, Link, SwitchPort
+from repro.pfs.params import PFSParams
+from repro.workloads.patterns import Pattern, overlap_bytes
+
+Extents = tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class AggregatorPlan:
+    """One resolved aggregator assignment for a collective write.
+
+    Attributes
+    ----------
+    scheme: the scheme label this plan implements (``"fabric-aware"``).
+    n_aggregators: chosen aggregator count (may differ from the
+        requested count when the fabric math says so).
+    requested_aggregators: the caller's hint, recorded for reporting.
+    domains: per-aggregator file domains as tuples of disjoint half-open
+        ``(lo, hi)`` byte extents, in ascending order.
+    server_groups: per-aggregator tuple of storage-server indices whose
+        stripe chunks make up that aggregator's domain.
+    phase1_fanin_cap: max concurrent shuffle senders per aggregator
+        switch port (``2**30`` on an ideal fabric).
+    """
+
+    scheme: str
+    n_aggregators: int
+    requested_aggregators: int
+    domains: tuple[Extents, ...]
+    server_groups: tuple[tuple[int, ...], ...]
+    phase1_fanin_cap: int
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(hi - lo for exts in self.domains for lo, hi in exts)
+
+    def __post_init__(self) -> None:
+        if self.n_aggregators != len(self.domains):
+            raise ValueError("one domain per aggregator required")
+        if self.phase1_fanin_cap < 1:
+            raise ValueError("phase-1 fan-in cap must be >= 1")
+
+
+def server_column_domains(
+    total_bytes: int,
+    n_servers: int,
+    stripe_unit: int,
+    n_aggregators: int,
+    shift: int = 0,
+) -> tuple[list[Extents], list[tuple[int, ...]]]:
+    """Partition ``[0, total_bytes)`` into per-aggregator server columns.
+
+    Servers are split into ``n_aggregators`` contiguous groups (sizes
+    differing by at most one); aggregator ``g``'s domain is every stripe
+    chunk whose server — ``(chunk + shift) % n_servers`` under the
+    shifted round-robin :class:`repro.pfs.layout.StripeLayout` — falls
+    in group ``g``.  Adjacent chunks of one group merge into runs, so a
+    group of ``k`` consecutive servers yields extents of ``k *
+    stripe_unit`` bytes every ``n_servers * stripe_unit`` bytes.
+
+    Returns ``(domains, groups)``; zero-byte domains are never emitted
+    (a tail shorter than one round of chunks can leave late groups
+    empty — those aggregators are dropped by the caller).
+    """
+    if n_aggregators < 1 or n_servers < 1 or stripe_unit < 1:
+        raise ValueError("need n_aggregators, n_servers, stripe_unit >= 1")
+    n_aggregators = min(n_aggregators, n_servers)
+    base, extra = divmod(n_servers, n_aggregators)
+    groups: list[tuple[int, ...]] = []
+    start = 0
+    for g in range(n_aggregators):
+        size = base + (1 if g < extra else 0)
+        groups.append(tuple(range(start, start + size)))
+        start += size
+    owner = {}
+    for g, members in enumerate(groups):
+        for s in members:
+            owner[s] = g
+    n_units = -(-total_bytes // stripe_unit)  # ceil
+    extents: list[list[tuple[int, int]]] = [[] for _ in range(n_aggregators)]
+    for chunk in range(n_units):
+        g = owner[(chunk + shift) % n_servers]
+        lo = chunk * stripe_unit
+        hi = min(lo + stripe_unit, total_bytes)
+        runs = extents[g]
+        if runs and runs[-1][1] == lo:
+            runs[-1] = (runs[-1][0], hi)
+        else:
+            runs.append((lo, hi))
+    return [tuple(e) for e in extents], groups
+
+
+def shuffle_matrix(
+    pattern: Pattern, domains: tuple[Extents, ...] | list[Extents]
+) -> list[list[tuple[int, int]]]:
+    """Per-aggregator phase-1 sender list: ``[(rank, nbytes), ...]``.
+
+    Entry ``g`` holds every rank with a positive byte overlap against
+    aggregator ``g``'s domain — exactly the flows that will converge on
+    that aggregator's switch port during the shuffle.
+    """
+    out: list[list[tuple[int, int]]] = []
+    for extents in domains:
+        sends = []
+        for rank, writes in enumerate(pattern):
+            nb = overlap_bytes(writes, extents)
+            if nb > 0:
+                sends.append((rank, nb))
+        out.append(sends)
+    return out
+
+
+def phase1_fanin_cap(
+    params: PFSParams,
+    fabric: Optional[FabricParams] = None,
+    cost: float = 0.0,
+) -> int:
+    """The per-aggregator-port shuffle fan-in bound for this deployment.
+
+    Builds the aggregator's client-side port geometry (client link +
+    fabric) and delegates to :meth:`repro.net.fabric.SwitchPort.
+    safe_fanin`; ``cost`` is a congestion discount, typically the
+    relevant :class:`repro.net.fabric.FabricFeedback` EWMA cost.
+    """
+    fab = fabric if fabric is not None else params.fabric
+    port = SwitchPort(Link(params.client_nic_Bps), fab)
+    return port.safe_fanin(cost=cost)
+
+
+def select_aggregators(
+    total_bytes: int,
+    n_ranks: int,
+    params: PFSParams,
+    pattern: Optional[Pattern] = None,
+    requested: Optional[int] = None,
+    feedback=None,
+    shift: int = 0,
+) -> AggregatorPlan:
+    """Choose aggregator count and placement against the fabric.
+
+    Parameters
+    ----------
+    total_bytes: collective write size in bytes.
+    n_ranks: application processes feeding the shuffle.
+    params: the target :class:`~repro.pfs.params.PFSParams` (supplies
+        ``n_servers``, ``stripe_unit``, ``client_nic_Bps`` and the
+        :class:`~repro.net.fabric.FabricParams`).
+    pattern: optional per-rank write pattern; when given, the count
+        search checks *actual* shuffle-slice sizes instead of the even
+        estimate.
+    requested: the caller's aggregator-count hint (recorded in the
+        plan; the fabric math may override it).
+    feedback: optional :class:`~repro.net.fabric.FabricFeedback`; its
+        maximum current port cost discounts the phase-1 fan-in bound
+        (a switch already hot from background traffic has less buffer
+        headroom to offer a synchronized shuffle).
+    shift: the file's starting-server rotation
+        (:attr:`repro.pfs.system.FileHandle.shift`).
+
+    The count rule: start at ``min(n_servers, n_ranks)`` — one server
+    group per aggregator maximizes phase-2 parallelism while keeping
+    per-server-port fan-in at 1 — then halve while the thinnest phase-1
+    flow would carry less than one initial congestion window of data
+    (``init_cwnd * pkt_bytes``): flows below that floor are pure
+    latency, so more aggregators only multiply round trips.
+    """
+    if total_bytes < 1 or n_ranks < 1:
+        raise ValueError("need total_bytes and n_ranks >= 1")
+    fab = params.fabric
+    cost = 0.0
+    if feedback is not None:
+        costs = feedback.costs()
+        cost = max(costs) if costs else 0.0
+    cap = phase1_fanin_cap(params, fab, cost=cost)
+    floor_bytes = fab.init_cwnd * fab.pkt_bytes
+    n = max(1, min(params.n_servers, n_ranks))
+    while n > 1:
+        domains, groups = server_column_domains(
+            total_bytes, params.n_servers, params.stripe_unit, n, shift=shift
+        )
+        if pattern is not None:
+            slices = [nb for sends in shuffle_matrix(pattern, domains) for _, nb in sends]
+        else:
+            slices = [total_bytes // (n_ranks * n)]
+        thinnest = min(slices) if slices else 0
+        if fab.ideal or thinnest >= floor_bytes:
+            break
+        n = n // 2
+    domains, groups = server_column_domains(
+        total_bytes, params.n_servers, params.stripe_unit, n, shift=shift
+    )
+    keep = [g for g, exts in enumerate(domains) if exts]
+    return AggregatorPlan(
+        scheme="fabric-aware",
+        n_aggregators=len(keep),
+        requested_aggregators=requested if requested is not None else n,
+        domains=tuple(domains[g] for g in keep),
+        server_groups=tuple(groups[g] for g in keep),
+        phase1_fanin_cap=cap,
+    )

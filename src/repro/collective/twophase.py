@@ -1,18 +1,57 @@
-"""Two-phase collective write with naive or layout-aware file domains."""
+"""Two-phase collective write: naive, layout-aware, or fabric-aware.
+
+Three file-domain schemes share one engine (see docs/collective.md):
+
+* ``"naive-even"`` — stock ROMIO: even byte partition, oblivious to
+  striping and to the network;
+* ``"layout-aware"`` — domain boundaries snap to stripe units, so no
+  lock block or server request is ever split between aggregators
+  (the report's ≥24% win), but the network stays invisible;
+* ``"fabric-aware"`` — :mod:`repro.collective.aggsel` chooses the
+  aggregator count and server-column placement against
+  :class:`repro.net.fabric.FabricParams`, and the phase-1 shuffle is
+  throttled to the per-port safe fan-in so it cannot trigger the
+  incast RTO path.
+
+Under the default ideal fabric, phase 1 is the historical flat
+``nbytes / shuffle_Bps`` timeout and results are bit-identical with the
+pre-fabric engine (pinned by goldens in
+``benchmarks/test_x17_fabric_collective.py``).  Under a finite-buffer
+fabric, phase 1 becomes real rank→aggregator flows through each
+aggregator's switch port and phase 2 rides the existing
+:class:`repro.pfs.system.SimPFS` fabric path.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.collective.aggsel import AggregatorPlan, select_aggregators, shuffle_matrix
 from repro.pfs.params import PFSParams
 from repro.pfs.system import SimPFS
-from repro.sim import Simulator, Timeout
+from repro.sim import Acquire, Resource, Simulator, Timeout
 from repro.workloads.patterns import Pattern, n1_strided
+
+#: Supported file-domain schemes, least to most infrastructure-aware.
+SCHEMES = ("naive-even", "layout-aware", "fabric-aware")
 
 
 @dataclass(frozen=True)
 class CollectiveConfig:
-    """One collective-write experiment."""
+    """One collective-write experiment.
+
+    Attributes
+    ----------
+    n_ranks: application processes (default 16).
+    n_aggregators: requested aggregator count (default 4); the
+        fabric-aware scheme treats this as a hint and may choose fewer.
+    record_bytes: bytes per rank per step (default ``37 KiB`` —
+        deliberately unaligned with every stripe unit).
+    steps: write steps per rank (default 4).
+    shuffle_Bps: flat phase-1 interconnect bandwidth in B/s used by the
+        ideal-fabric path (default 125 MB/s, 1GE); a finite-buffer
+        fabric replaces this scalar with real per-port flows.
+    """
 
     n_ranks: int = 16
     n_aggregators: int = 4
@@ -29,7 +68,13 @@ class CollectiveConfig:
 
 
 def even_domains(total_bytes: int, n_aggregators: int) -> list[tuple[int, int]]:
-    """Stock ROMIO: even byte partition, oblivious to striping."""
+    """Stock ROMIO: even byte partition, oblivious to striping.
+
+    Zero-width domains (``n_aggregators > total_bytes`` rounds the even
+    share to 0) are filtered out rather than emitted — a zero-byte
+    domain would spawn a no-op aggregator, skewing aggregator counts
+    and per-aggregator statistics.
+    """
     if n_aggregators < 1:
         raise ValueError("need at least one aggregator")
     size = total_bytes // n_aggregators
@@ -37,7 +82,8 @@ def even_domains(total_bytes: int, n_aggregators: int) -> list[tuple[int, int]]:
     start = 0
     for i in range(n_aggregators):
         end = total_bytes if i == n_aggregators - 1 else start + size
-        domains.append((start, end))
+        if end > start:
+            domains.append((start, end))
         start = end
     return domains
 
@@ -65,11 +111,19 @@ def aligned_domains(
 
 @dataclass
 class CollectiveResult:
+    """Outcome of one collective write (all times in simulated seconds)."""
+
     scheme: str
     makespan_s: float
     total_bytes: int
     lock_migrations: int
     server_requests: int
+    n_aggregators: int = 0
+    phase1_s: float = 0.0            # last aggregator's shuffle completion
+    shuffle_drops_pkts: int = 0      # tail drops at aggregator ports (phase 1)
+    shuffle_rtos: int = 0            # full-window losses at aggregator ports
+    fanin_cap: int = 0               # phase-1 throttle (0 = unthrottled)
+    plan: AggregatorPlan | None = field(default=None, repr=False)
 
     @property
     def bandwidth_MBps(self) -> float:
@@ -79,50 +133,152 @@ class CollectiveResult:
 def run_collective_write(
     config: CollectiveConfig,
     params: PFSParams,
-    layout_aware: bool,
+    layout_aware: bool = False,
     path: str = "/out",
+    *,
+    scheme: str | None = None,
+    feedback=None,
 ) -> CollectiveResult:
     """Simulate phase-1 shuffle + phase-2 aggregator writes.
 
-    Phase 1 cost: each aggregator receives its domain's bytes over the
-    interconnect (same for both schemes).  Phase 2: each aggregator writes
-    its domain; the naive scheme's unaligned boundaries cause lock
-    migrations between neighbouring aggregators and split server requests.
-    Aggregator writes are chunked at the client buffer size, as ROMIO's
-    collective buffer does.
+    ``scheme`` selects among :data:`SCHEMES`; the legacy boolean
+    ``layout_aware`` is kept for callers predating the fabric-aware
+    scheme and maps to ``"layout-aware"`` / ``"naive-even"``.
+
+    Phase 1: with the (default) ideal fabric each aggregator absorbs its
+    domain's bytes in one flat ``nbytes / shuffle_Bps`` interval — the
+    historical arithmetic, bit for bit.  With finite ``fabric.
+    buffer_pkts`` every rank→aggregator transfer is a real windowed flow
+    converging on the aggregator's switch port; the fabric-aware scheme
+    additionally throttles concurrent senders per port to the plan's
+    safe fan-in, while fabric-blind schemes launch all ranks at once
+    (the incast).
+
+    Phase 2: each aggregator writes its file domain in collective-
+    buffer-sized chunks through :class:`~repro.pfs.system.SimPFS` —
+    which routes through the same fabric.  The naive scheme's unaligned
+    boundaries additionally cause lock migrations between neighbouring
+    aggregators and split server requests.
+
+    ``feedback`` (a :class:`repro.net.fabric.FabricFeedback`) lets the
+    fabric-aware selection discount port headroom by measured
+    congestion; the other schemes ignore it.
     """
+    if scheme is None:
+        scheme = "layout-aware" if layout_aware else "naive-even"
+    if scheme not in SCHEMES:
+        raise ValueError(f"scheme must be one of {SCHEMES}, got {scheme!r}")
     sim = Simulator()
     pfs = SimPFS(sim, params)
     sim.spawn(pfs.op_create(0, path))
     sim.run()
     total = config.total_bytes
-    if layout_aware:
-        domains = aligned_domains(total, config.n_aggregators, params.stripe_unit)
-        scheme = "layout-aware"
+    fab = params.fabric
+    plan: AggregatorPlan | None = None
+    if scheme == "fabric-aware":
+        plan = select_aggregators(
+            total,
+            config.n_ranks,
+            params,
+            pattern=config.pattern(),
+            requested=config.n_aggregators,
+            feedback=feedback,
+            shift=pfs.lookup(path).shift,
+        )
+        domains: list[tuple[tuple[int, int], ...]] = list(plan.domains)
+        cap = plan.phase1_fanin_cap
     else:
-        domains = even_domains(total, config.n_aggregators)
-        scheme = "naive-even"
+        if scheme == "layout-aware":
+            flat = aligned_domains(total, config.n_aggregators, params.stripe_unit)
+        else:
+            flat = even_domains(total, config.n_aggregators)
+        domains = [((lo, hi),) for lo, hi in flat]
+        cap = 0  # unthrottled: all ranks converge at once
+    n_agg = len(domains)
+    sends = None if fab.ideal else shuffle_matrix(config.pattern(), domains)
+    obs = sim.obs
+    root = None
+    if obs is not None:
+        root = obs.tracer.start(
+            "collective.write", at=sim.now,
+            scheme=scheme, aggregators=n_agg, ranks=config.n_ranks,
+        )
+        obs.metrics.gauge("collective.aggregators").set(n_agg)
+        if cap:
+            obs.metrics.gauge("collective.fanin_cap").set(cap)
     start = sim.now
+    phase1_end = [start] * n_agg
+    topo = pfs.topology
 
-    def aggregator(agg_id: int, lo: int, hi: int):
-        nbytes = hi - lo
-        # phase 1: gather from ranks over the interconnect
-        yield Timeout(nbytes / config.shuffle_Bps)
+    def aggregator(g: int, extents: tuple[tuple[int, int], ...]):
+        nbytes = sum(hi - lo for lo, hi in extents)
+        asp = p1 = None
+        if obs is not None:
+            asp = obs.tracer.start(
+                "collective.aggregator", parent=root, at=sim.now,
+                aggregator=g, nbytes=nbytes,
+            )
+            p1 = obs.tracer.start("collective.phase1", parent=asp, at=sim.now)
+        # phase 1: gather the domain's bytes from the ranks
+        if fab.ideal:
+            yield Timeout(nbytes / config.shuffle_Bps)
+        elif sends[g]:
+            limit = min(cap, len(sends[g])) if cap else len(sends[g])
+            # pace each admitted flow to its share of the port buffer so
+            # the concurrent windows fit the buffer at once — without
+            # this, admission control alone still tail-drops as soon as
+            # TCP grows the windows past init_cwnd
+            win = max(1, fab.buffer_pkts // limit) if cap else None
+            sem = Resource(sim, capacity=limit, name=f"agg{g}.shuffle")
+
+            def sender(nb: int):
+                grant = yield Acquire(sem)
+                yield from topo.to_client(g, nb, cwnd_cap=win)
+                sem.release(grant)
+
+            senders = [sim.spawn(sender(nb), name=f"shuffle:{r}->{g}")
+                       for r, nb in sends[g]]
+            for proc in senders:
+                yield proc
+        phase1_end[g] = sim.now
+        if obs is not None:
+            p1.finish(at=sim.now)
+            obs.metrics.counter("collective.shuffle_bytes").inc(nbytes)
+            p2 = obs.tracer.start("collective.phase2", parent=asp, at=sim.now)
         # phase 2: write the domain in collective-buffer-sized chunks
         buf = params.write_buffer_bytes
-        pos = lo
-        while pos < hi:
-            take = min(buf, hi - pos)
-            yield from pfs.op_write(agg_id, path, pos, take)
-            pos += take
+        for lo, hi in extents:
+            pos = lo
+            while pos < hi:
+                take = min(buf, hi - pos)
+                yield from pfs.op_write(g, path, pos, take)
+                pos += take
+        if obs is not None:
+            p2.finish(at=sim.now)
+            obs.metrics.counter("collective.written_bytes").inc(nbytes)
+            asp.finish(at=sim.now)
 
-    for i, (lo, hi) in enumerate(domains):
-        sim.spawn(aggregator(i, lo, hi))
+    for g, extents in enumerate(domains):
+        sim.spawn(aggregator(g, extents), name=f"agg{g}")
     sim.run()
+    drops = rtos = 0
+    if not fab.ideal:
+        for g in range(n_agg):
+            port = topo.client_port(g)
+            drops += port.total_drops_pkts
+            rtos += port.total_timeouts
+    if root is not None:
+        root.finish(at=sim.now)
     return CollectiveResult(
         scheme=scheme,
         makespan_s=sim.now - start,
         total_bytes=total,
         lock_migrations=pfs.total_lock_migrations(),
         server_requests=int(sum(s.counters["requests"] for s in pfs.servers)),
+        n_aggregators=n_agg,
+        phase1_s=max(phase1_end) - start,
+        shuffle_drops_pkts=drops,
+        shuffle_rtos=rtos,
+        fanin_cap=cap,
+        plan=plan,
     )

@@ -83,6 +83,24 @@ class FabricParams:
     ``buffer_pkts=None`` selects the **ideal** fabric — infinite
     buffers, no contention — under which :class:`Topology` reproduces
     plain ``latency + nbytes/bandwidth`` arithmetic exactly.
+
+    Attributes
+    ----------
+    name: label for reports and port metrics (default ``"ideal"``).
+    buffer_pkts: per-port shared output buffer, in packets.  ``None``
+        (the default) is the infinite/ideal fabric; real 2008-era
+        top-of-rack switches bufferred 32–128 packets per port.
+    pkt_bytes: packet (MTU) size in bytes (default 1500, Ethernet).
+    rtt_s: base round-trip time in seconds (default 100 µs, one
+        datacenter switch hop).
+    min_rto_s: minimum retransmission timeout in seconds (default 0.2 —
+        the historical 200 ms TCP floor whose reduction to ~1 ms is the
+        published incast fix).
+    rto_jitter: when True, each RTO is scaled by a uniform factor in
+        [0.5, 1.5) drawn from the seeded generator (default False).
+    init_cwnd: initial congestion window, in packets (default 2).
+    max_cwnd: congestion-window growth cap, in packets (default 64).
+    seed: seed for drop sampling and RTO jitter (default 42).
     """
 
     name: str = "ideal"
@@ -143,6 +161,13 @@ class SwitchPort:
         self.name = name
         self.occupancy_pkts = 0
         self.down = False  # fault injection: blacked-out port delivers nothing
+        # always-on local totals (mirrored into obs when a registry is
+        # attached) so consumers — aggregator selection, benchmarks —
+        # can read per-port damage without an active metrics bundle
+        self.total_drops_pkts = 0
+        self.total_timeouts = 0
+        self.total_retransmits = 0
+        self.total_bytes = 0
         self.res: Optional[Resource] = (
             Resource(sim, capacity=1, name=f"{name}.link") if sim is not None else None
         )
@@ -178,6 +203,31 @@ class SwitchPort:
             raise ValueError("round capacity is undefined on an ideal (infinite) port")
         return self.fabric.buffer_pkts + self.pkts_per_rtt
 
+    def safe_fanin(self, cost: float = 0.0) -> int:
+        """Most *synchronized* flows this port absorbs without an RTO risk.
+
+        :attr:`round_capacity_pkts` packets clear the port per RTT round,
+        but only the buffered share of that capacity is admission
+        headroom for simultaneous arrivals: flows that inject in the
+        same instant (a collective shuffle, a striped fan-in) see none
+        of the round's line-rate drain yet, so every flow's initial
+        window must fit the buffer *at once* or some flow loses its
+        entire window — and a full-window loss has no dup-acks to
+        trigger fast retransmit, so that flow sits out a (min-)RTO.
+
+        ``cost`` (e.g. a :class:`FabricFeedback` EWMA congestion cost
+        for this port) discounts the headroom: a port already carrying
+        background traffic has ``buffer/(1+cost)`` free packets to
+        offer a new synchronized burst.
+
+        Always >= 1; unbounded (``2**30``) on an ideal port.
+        """
+        if self.fabric.buffer_pkts is None:
+            return 1 << 30
+        buffered = self.round_capacity_pkts - self.pkts_per_rtt  # == buffer_pkts
+        eff = buffered / (1.0 + max(0.0, cost))
+        return max(1, int(eff) // self.fabric.init_cwnd)
+
     # -- buffer accounting --------------------------------------------
     def free_pkts(self) -> int:
         if self.down:
@@ -207,18 +257,22 @@ class SwitchPort:
 
     # -- event accounting ---------------------------------------------
     def record_drops(self, pkts: int) -> None:
+        self.total_drops_pkts += pkts
         if self._c_drops is not None and pkts:
             self._c_drops.inc(pkts)
 
     def record_timeouts(self, n: int = 1) -> None:
+        self.total_timeouts += n
         if self._c_timeouts is not None and n:
             self._c_timeouts.inc(n)
 
     def record_retransmit(self, n: int = 1) -> None:
+        self.total_retransmits += n
         if self._c_retransmits is not None and n:
             self._c_retransmits.inc(n)
 
     def record_bytes(self, nbytes: int) -> None:
+        self.total_bytes += nbytes
         if self._c_bytes is not None and nbytes:
             self._c_bytes.inc(nbytes)
 
@@ -371,6 +425,19 @@ class Topology:
     :meth:`to_client` (striped read replies converging on a client —
     the incast path), with windowed injection, tail drops, fast
     retransmit, and full-window-loss RTOs.
+
+    Parameters
+    ----------
+    sim: the :class:`~repro.sim.Simulator` that drives all transfers.
+    n_servers: storage-server switch ports to build (one per server).
+    client_link: the per-client host link (bandwidth in B/s, latency in
+        seconds); client NICs and client-side switch ports use it.
+    server_link: the per-server link, same units.
+    rpc_latency_s: software round-trip overhead charged per request by
+        :meth:`request_cost_s`, in seconds (default 0.0).
+    fabric: the shared :class:`FabricParams` congestion knobs (default
+        :data:`IDEAL_FABRIC` — infinite buffers, no contention).
+    name: label prefix for observability output (default ``"fabric"``).
     """
 
     def __init__(
@@ -442,15 +509,15 @@ class Topology:
         yield Timeout(self.client_link.transfer_s(nbytes))
         nic.release(grant)
 
-    def to_server(self, server: int, nbytes: int, parent_span=None):
+    def to_server(self, server: int, nbytes: int, parent_span=None, cwnd_cap=None):
         """Move a request payload through the server's switch output port."""
-        yield from self._windowed(self.server_ports[server], nbytes, parent_span)
+        yield from self._windowed(self.server_ports[server], nbytes, parent_span, cwnd_cap)
 
-    def to_client(self, client: int, nbytes: int, parent_span=None):
+    def to_client(self, client: int, nbytes: int, parent_span=None, cwnd_cap=None):
         """Move a reply through the client's switch output port (incast path)."""
-        yield from self._windowed(self.client_port(client), nbytes, parent_span)
+        yield from self._windowed(self.client_port(client), nbytes, parent_span, cwnd_cap)
 
-    def _windowed(self, port: SwitchPort, nbytes: int, parent_span=None):
+    def _windowed(self, port: SwitchPort, nbytes: int, parent_span=None, cwnd_cap=None):
         """One flow's windowed injection through a finite output buffer.
 
         Each round: inject up to ``cwnd`` packets.  Whatever fits in the
@@ -459,6 +526,12 @@ class Topology:
         halves the window (fast retransmit); a *full*-window loss has
         nothing in flight to trigger it, so the flow sits out a (min-)
         RTO.  An RTT elapses per round for the acknowledgement.
+
+        ``cwnd_cap`` (packets) clamps window growth below the fabric's
+        ``max_cwnd`` — application-level pacing.  A cooperating fan-in
+        (the collective shuffle) caps each flow at its share of the port
+        buffer so the concurrent windows fit the buffer *at once*; TCP
+        left alone grows past it and tail-drops.
         """
         if nbytes <= 0:
             return
@@ -469,8 +542,9 @@ class Topology:
                 "fabric.xfer", parent=parent_span, at=self.sim.now,
                 port=port.name, nbytes=nbytes,
             )
+        max_w = fab.max_cwnd if cwnd_cap is None else max(1, min(fab.max_cwnd, cwnd_cap))
         total = -(-nbytes // fab.pkt_bytes)  # ceil
-        cwnd = fab.init_cwnd
+        cwnd = min(fab.init_cwnd, max_w)
         done = 0
         while done < total:
             want = min(cwnd, total - done)
@@ -480,7 +554,7 @@ class Topology:
                 port.record_drops(want)
                 port.record_timeouts(1)
                 yield Timeout(fab.rto_s(self.rng))
-                cwnd = fab.init_cwnd
+                cwnd = min(fab.init_cwnd, max_w)
                 continue
             if admit < want:
                 # partial loss: triple-dup-ack fast retransmit, window halves
@@ -488,7 +562,7 @@ class Topology:
                 port.record_retransmit(1)
                 cwnd = max(1, cwnd // 2)
             else:
-                cwnd = min(cwnd + 1, fab.max_cwnd)
+                cwnd = min(cwnd + 1, max_w)
             port.admit(admit)
             grant = yield Acquire(port.res)
             yield Timeout(admit * port.pkt_time_s)

@@ -15,15 +15,31 @@ class PFSParams:
 
     Attributes
     ----------
-    n_servers: storage servers (each one disk + one NIC).
-    stripe_unit: bytes per stripe chunk before moving to the next server.
-    lock_granularity: byte-range lock block size (POSIX write coherence).
-    rpc_latency_s: per-request software+network round-trip overhead.
-    lock_latency_s: cost of migrating a lock block between clients.
-    server_nic_Bps / client_nic_Bps: link bandwidths.
-    mds_op_s: metadata server cost per namespace operation.
-    write_buffer_bytes: client-side coalescing buffer for sequential
-        streams (log-structured writers benefit; strided writers cannot).
+    name: label for reports and personality identification (default
+        ``"generic"``).
+    n_servers: storage servers, each one disk + one NIC (default 8).
+    stripe_unit: bytes per stripe chunk before moving to the next server
+        (default 64 KiB).
+    lock_granularity: byte-range lock block size in bytes — POSIX write
+        coherence (default 64 KiB).
+    rpc_latency_s: per-request software+network round-trip overhead in
+        seconds (default 300 µs).
+    lock_latency_s: cost in seconds of migrating a lock block between
+        clients (default 1.5 ms).
+    server_nic_Bps: per-server link bandwidth in bytes/second (default
+        ~112 MB/s, a 1GE NIC at 90% efficiency).
+    client_nic_Bps: per-client link bandwidth, same units and default.
+    mds_op_s: metadata server cost per namespace operation in seconds
+        (default 0.8 ms, ~1250 ops/s).
+    n_mds: independent metadata servers; paths hash across them,
+        GIGA+-style (default 1).
+    write_buffer_bytes: client-side coalescing buffer in bytes for
+        sequential streams — log-structured writers benefit, strided
+        writers cannot (default 1 MiB); also the phase-2 chunk size of
+        collective aggregators (docs/collective.md).
+    disk: per-server :class:`~repro.devices.disk.DiskParams` (default
+        :data:`~repro.devices.disk.SEVEN_K2_SATA`, a 7200-rpm SATA
+        drive).
     fabric: network-fabric congestion knobs (:class:`repro.net.fabric.
         FabricParams`).  The default :data:`~repro.net.fabric.IDEAL_FABRIC`
         (infinite switch buffers, no contention) reproduces plain

@@ -13,7 +13,9 @@ from repro.workloads.patterns import (
     n1_segmented,
     n1_strided,
     nn_private,
+    overlap_bytes,
     pattern_bytes,
+    rank_overlaps,
     with_jitter,
 )
 from repro.workloads.apps import (
@@ -48,7 +50,9 @@ __all__ = [
     "n1_segmented",
     "n1_strided",
     "nn_private",
+    "overlap_bytes",
     "pattern_bytes",
+    "rank_overlaps",
     "predict_checkpoint_series",
     "qcd_like",
     "run_faulted_checkpoint",

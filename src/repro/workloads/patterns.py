@@ -72,6 +72,30 @@ def pattern_bytes(pattern: Pattern) -> int:
     return sum(n for writes in pattern for _, n in writes)
 
 
+def overlap_bytes(writes: list[tuple[int, int]], extents) -> int:
+    """Bytes of one rank's ``(offset, nbytes)`` records that fall inside
+    ``extents`` (an iterable of half-open ``(lo, hi)`` byte ranges).
+
+    This is the phase-1 shuffle volume of two-phase collective I/O: the
+    data a rank must send to the aggregator owning those extents.
+    Extents are assumed mutually disjoint (as file domains are), so the
+    per-extent overlaps sum without double counting.
+    """
+    total = 0
+    for off, n in writes:
+        end = off + n
+        for lo, hi in extents:
+            cut = min(end, hi) - max(off, lo)
+            if cut > 0:
+                total += cut
+    return total
+
+
+def rank_overlaps(pattern: Pattern, extents) -> list[int]:
+    """Per-rank :func:`overlap_bytes` against one set of extents."""
+    return [overlap_bytes(writes, extents) for writes in pattern]
+
+
 def _check(n_ranks: int, record_bytes: int, steps: int) -> None:
     if n_ranks < 1 or record_bytes < 1 or steps < 1:
         raise ValueError("n_ranks, record_bytes, steps must all be >= 1")

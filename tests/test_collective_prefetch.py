@@ -26,6 +26,18 @@ def test_even_domains_partition():
     assert sum(e - s for s, e in d) == 100
 
 
+def test_even_domains_no_zero_width():
+    """Regression: more aggregators than bytes used to emit (k, k) domains."""
+    d = even_domains(3, 5)
+    assert d == [(0, 3)]
+    assert all(e > s for s, e in d)
+    # one aggregator short of the byte count: per-agg share rounds to 0
+    d = even_domains(7, 8)
+    assert all(e > s for s, e in d)
+    assert d[-1][1] == 7
+    assert sum(e - s for s, e in d) == 7
+
+
 def test_aligned_domains_snap_to_stripe():
     unit = 64
     d = aligned_domains(1000, 3, unit)

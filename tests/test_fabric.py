@@ -84,6 +84,29 @@ def test_ideal_port_has_no_round_capacity():
         SwitchPort(Link(125e6), IDEAL_FABRIC).round_capacity_pkts
 
 
+def test_safe_fanin_bound():
+    # 32-pkt buffer / 2-pkt initial windows: 16 synchronized flows fit
+    fab = FabricParams(buffer_pkts=32, init_cwnd=2)
+    port = SwitchPort(Link(125e6), fab)
+    assert port.safe_fanin() == 16
+    # feedback cost discounts the headroom; floor is always 1
+    assert port.safe_fanin(cost=1.0) == 8
+    assert port.safe_fanin(cost=1e9) == 1
+    assert SwitchPort(Link(125e6), IDEAL_FABRIC).safe_fanin() == 1 << 30
+
+
+def test_port_total_counters_without_obs():
+    port = SwitchPort(Link(125e6), FabricParams(buffer_pkts=4))
+    port.record_drops(5)
+    port.record_timeouts(2)
+    port.record_retransmit()
+    port.record_bytes(1500)
+    assert port.total_drops_pkts == 5
+    assert port.total_timeouts == 2
+    assert port.total_retransmits == 1
+    assert port.total_bytes == 1500
+
+
 def test_port_metrics_registered():
     with obs_mod.use() as o:
         port = SwitchPort(Link(125e6), FabricParams(buffer_pkts=4), obs=o, name="p0")
@@ -190,6 +213,24 @@ def test_windowed_transfer_deterministic_same_seed():
     assert run(5) != run(6)
 
 
+def test_windowed_cwnd_cap_prevents_overflow():
+    """16 flows each paced to buffer/16 = 2 packets: windows fit the
+    buffer at once, so a synchronized fan-in loses nothing."""
+    fab = FabricParams(buffer_pkts=32, min_rto_s=0.2, seed=1)
+    sim, topo = make_topology(fabric=fab, n_servers=1)
+
+    def job(i):
+        yield from topo.to_server(0, 64 * 1024, cwnd_cap=2)
+
+    for i in range(16):
+        sim.spawn(job(i))
+    t = sim.run()
+    port = topo.server_ports[0]
+    assert port.total_drops_pkts == 0
+    assert port.total_timeouts == 0
+    assert t < fab.min_rto_s  # nobody sat out an RTO
+
+
 def test_zero_byte_transfer_is_free():
     fab = FabricParams(buffer_pkts=8)
     sim, topo = make_topology(fabric=fab)
@@ -242,6 +283,44 @@ def test_fanin_port_accounting():
         assert snap["counters"]["net.fabric.timeouts{port=fanin}"] == res.timeouts
         assert snap["counters"]["net.fabric.drops_pkts{port=fanin}"] > 0
         assert snap["counters"]["net.fabric.bytes{port=fanin}"] == res.total_bytes
+
+
+def test_fanin_single_flow_never_times_out():
+    # one flow's window (≤ max_cwnd = buffer) can never overflow the round
+    # capacity, so a lone sender sees zero drops and zero RTOs
+    fab = FabricParams(buffer_pkts=64, max_cwnd=64)
+    res = synchronized_fanin(
+        Link(125e6), fab, 1, 256 * 1024, np.random.default_rng(3), n_blocks=4
+    )
+    assert res.timeouts == 0
+    assert res.repeat_timeouts == 0
+    assert res.goodput_Bps > 0
+
+
+def test_fanin_buffer_deeper_than_demand():
+    # 8 flows × 2 packets of SRU = 16 packets total, against a 512-pkt
+    # buffer: the whole burst fits in one round's capacity, every round
+    fab = FabricParams(buffer_pkts=512)
+    res = synchronized_fanin(
+        Link(125e6), fab, 8, 3000, np.random.default_rng(4), n_blocks=3
+    )
+    assert res.timeouts == 0
+    sru_pkts = 3000 // fab.pkt_bytes
+    assert res.total_bytes == 3 * 8 * sru_pkts * fab.pkt_bytes
+
+
+def test_fanin_window_cap_of_one():
+    # init_cwnd = max_cwnd = 1: each flow injects exactly one packet per
+    # round forever; 4 flows against round capacity >= buffer(4)+line
+    # never overflow, but progress is one SRU packet per flow per round
+    fab = FabricParams(buffer_pkts=4, init_cwnd=1, max_cwnd=1)
+    res = synchronized_fanin(
+        Link(125e6), fab, 4, 15000, np.random.default_rng(5), n_blocks=2
+    )
+    assert res.timeouts == 0
+    sru_pkts = 15000 // fab.pkt_bytes
+    # lower bound on rounds: sru_pkts rounds per block, one RTT each
+    assert res.elapsed_s >= 2 * sru_pkts * fab.rtt_s
 
 
 def test_fanin_bytes_conserved():

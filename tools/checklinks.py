@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Check that intra-repo markdown links point at files that exist.
+
+Scans every tracked ``*.md`` for ``[text](target)`` links, resolves each
+relative ``target`` (fragments stripped) against the linking file, and
+fails listing every dangling link.  External (``http``/``mailto``) and
+pure-fragment links are skipped.  Usage: ``python tools/checklinks.py``.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+SKIP = ("http://", "https://", "mailto:")
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = []
+    for md in sorted(root.rglob("*.md")):
+        if any(part.startswith(".") for part in md.relative_to(root).parts):
+            continue  # .git, .github templates etc.
+        for target in LINK.findall(md.read_text(encoding="utf-8")):
+            if target.startswith(SKIP) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if path and not (md.parent / path).exists():
+                broken.append(f"{md.relative_to(root)}: {target}")
+    if broken:
+        print("broken intra-repo markdown links:")
+        print("\n".join(f"  {b}" for b in broken))
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
