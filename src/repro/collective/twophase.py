@@ -138,6 +138,7 @@ def run_collective_write(
     *,
     scheme: str | None = None,
     feedback=None,
+    tenant: str = "default",
 ) -> CollectiveResult:
     """Simulate phase-1 shuffle + phase-2 aggregator writes.
 
@@ -163,6 +164,14 @@ def run_collective_write(
     ``feedback`` (a :class:`repro.net.fabric.FabricFeedback`) lets the
     fabric-aware selection discount port headroom by measured
     congestion; the other schemes ignore it.
+
+    With a ``repro.obs`` bundle active the whole collective runs as ONE
+    request: a :class:`~repro.obs.RequestContext` (tagged ``tenant``) is
+    minted at this edge, stamped on the root ``collective.write`` span,
+    and threaded through the shuffle flows and every phase-2 PFS write —
+    so fabric drops and RTOs anywhere underneath attribute back to it,
+    and ``critical_path(tracer)`` over the resulting span tree sums to
+    the measured makespan.
     """
     if scheme is None:
         scheme = "layout-aware" if layout_aware else "naive-even"
@@ -197,11 +206,13 @@ def run_collective_write(
     n_agg = len(domains)
     sends = None if fab.ideal else shuffle_matrix(config.pattern(), domains)
     obs = sim.obs
-    root = None
+    root = ctx = None
     if obs is not None:
+        ctx = obs.request_context(op="collective_write", tenant=tenant, origin="collective")
         root = obs.tracer.start(
             "collective.write", at=sim.now,
             scheme=scheme, aggregators=n_agg, ranks=config.n_ranks,
+            **ctx.span_attrs(),
         )
         obs.metrics.gauge("collective.aggregators").set(n_agg)
         if cap:
@@ -212,7 +223,7 @@ def run_collective_write(
 
     def aggregator(g: int, extents: tuple[tuple[int, int], ...]):
         nbytes = sum(hi - lo for lo, hi in extents)
-        asp = p1 = None
+        asp = p1 = p2 = None
         if obs is not None:
             asp = obs.tracer.start(
                 "collective.aggregator", parent=root, at=sim.now,
@@ -233,7 +244,7 @@ def run_collective_write(
 
             def sender(nb: int):
                 grant = yield Acquire(sem)
-                yield from topo.to_client(g, nb, cwnd_cap=win)
+                yield from topo.to_client(g, nb, cwnd_cap=win, parent_span=p1, ctx=ctx)
                 sem.release(grant)
 
             senders = [sim.spawn(sender(nb), name=f"shuffle:{r}->{g}")
@@ -251,7 +262,7 @@ def run_collective_write(
             pos = lo
             while pos < hi:
                 take = min(buf, hi - pos)
-                yield from pfs.op_write(g, path, pos, take)
+                yield from pfs.op_write(g, path, pos, take, parent_span=p2, ctx=ctx)
                 pos += take
         if obs is not None:
             p2.finish(at=sim.now)

@@ -60,8 +60,23 @@ def _schedule(job: GrepJob, backend, spec) -> list[tuple[int, int, bool]]:
     return assignments
 
 
-def run_grep(job: GrepJob, backend) -> JobResult:
-    """Execute the job in waves of one task per node."""
+def run_grep(job: GrepJob, backend, ctx=None) -> JobResult:
+    """Execute the job in waves of one task per node.
+
+    An analytic model (no simulator), but still a request-addressable
+    edge: with a bundle active it mints/accepts a
+    :class:`repro.obs.RequestContext` and records a ``dfs.grep`` span.
+    """
+    from repro import obs as _obs
+
+    bundle = _obs.current()
+    span = None
+    if bundle is not None:
+        if ctx is None:
+            ctx = bundle.request_context(op="grep", origin="dfs")
+        span = bundle.tracer.start(
+            "dfs.grep", backend=backend.name, **ctx.span_attrs()
+        )
     spec = backend.spec
     assignments = _schedule(job, backend, spec)
     node_time = np.zeros(spec.n_nodes)
@@ -76,7 +91,7 @@ def run_grep(job: GrepJob, backend) -> JobResult:
             local_tasks += 1
         else:
             remote_tasks += 1
-    return JobResult(
+    result = JobResult(
         backend=backend.name
         + ("" if not getattr(backend, "readahead_bytes", None) else f"+ra{backend.readahead_bytes // 1024}k")
         + ("+layout" if getattr(backend, "expose_layout", False) else ""),
@@ -85,3 +100,6 @@ def run_grep(job: GrepJob, backend) -> JobResult:
         remote_tasks=remote_tasks,
         total_bytes=job.n_chunks * spec.chunk_bytes,
     )
+    if span is not None:
+        span.finish()
+    return result

@@ -107,9 +107,22 @@ class GigaCluster:
         yield Timeout(len(movers) * p.per_entry_move_s + p.op_service_s)
 
     # -- client-side operation (simulation process) ----------------------------
-    def client_create(self, client_bitmap: GigaBitmap, name: str):
-        """Create with lazy map correction; returns hops taken."""
+    def client_create(self, client_bitmap: GigaBitmap, name: str, ctx=None):
+        """Create with lazy map correction; returns hops taken.
+
+        A request-addressable edge: with a bundle active it mints (or
+        accepts) a :class:`repro.obs.RequestContext` and records a
+        ``giga.create`` span stamped with the request id.
+        """
         p = self.params
+        obs = self.sim.obs
+        span = None
+        if obs is not None:
+            if ctx is None:
+                ctx = obs.request_context(op="create", origin="giga")
+            span = obs.tracer.start(
+                "giga.create", at=self.sim.now, **ctx.span_attrs()
+            )
         hops = 0
         target = self.server_of(client_bitmap.partition_of_name(name))
         while True:
@@ -117,6 +130,9 @@ class GigaCluster:
             yield Timeout(p.client_rpc_s)
             ok, correct = yield from self.server_create(target, name, client_bitmap)
             if ok:
+                if span is not None:
+                    span.attrs["hops"] = hops
+                    span.finish(at=self.sim.now)
                 return hops
             target = correct
 

@@ -146,6 +146,23 @@ class SwitchPort:
     link, so process-mode transfers serialize through it; without a
     simulator the port is a pure accounting object for the round-based
     engine.
+
+    **Label scheme / authority.**  The ``total_*`` attributes
+    (:attr:`total_drops_pkts`, :attr:`total_timeouts`,
+    :attr:`total_retransmits`, :attr:`total_bytes`,
+    :attr:`total_blackouts`) are the *authoritative* always-on counts:
+    plain ints, present with or without a metrics bundle, snapshot via
+    :meth:`stats`.  When a bundle is attached the single
+    ``record_*`` write points mirror every bump into the registry under
+    one consistent scheme — ``net.fabric.<what>{port=<name>}`` for
+    counters (``drops_pkts``, ``timeouts``, ``retransmits``, ``bytes``,
+    ``blackouts``) — so the two views cannot drift.  Occupancy
+    (``net.fabric.occupancy_pkts`` gauge + ``.hist`` histogram) is
+    obs-only: it is an instantaneous reading, not a total.  Per-tenant
+    damage attribution lives under ``net.fabric.tenant.<what>{tenant=}``
+    (recorded by :meth:`Topology._windowed` from the request context),
+    deliberately a *separate* metric family so per-port label sets stay
+    exactly as :class:`FabricFeedback` expects.
     """
 
     def __init__(
@@ -168,6 +185,7 @@ class SwitchPort:
         self.total_timeouts = 0
         self.total_retransmits = 0
         self.total_bytes = 0
+        self.total_blackouts = 0
         self.res: Optional[Resource] = (
             Resource(sim, capacity=1, name=f"{name}.link") if sim is not None else None
         )
@@ -240,8 +258,8 @@ class SwitchPort:
 
     def set_down(self, down: bool) -> None:
         """Blackout (or restore) the port; counted once per transition."""
-        if down and not self.down and self._c_blackouts is not None:
-            self._c_blackouts.inc()
+        if down and not self.down:
+            self.record_blackout(1)
         self.down = down
 
     def admit(self, pkts: int) -> None:
@@ -275,6 +293,24 @@ class SwitchPort:
         self.total_bytes += nbytes
         if self._c_bytes is not None and nbytes:
             self._c_bytes.inc(nbytes)
+
+    def record_blackout(self, n: int = 1) -> None:
+        self.total_blackouts += n
+        if self._c_blackouts is not None and n:
+            self._c_blackouts.inc(n)
+
+    def stats(self) -> dict:
+        """The authoritative always-on totals, as one sorted-key dict."""
+        return {
+            "port": self.name,
+            "drops_pkts": self.total_drops_pkts,
+            "timeouts": self.total_timeouts,
+            "retransmits": self.total_retransmits,
+            "bytes": self.total_bytes,
+            "blackouts": self.total_blackouts,
+            "occupancy_pkts": self.occupancy_pkts,
+            "down": self.down,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         cap = self.fabric.buffer_pkts
@@ -509,15 +545,19 @@ class Topology:
         yield Timeout(self.client_link.transfer_s(nbytes))
         nic.release(grant)
 
-    def to_server(self, server: int, nbytes: int, parent_span=None, cwnd_cap=None):
+    def to_server(self, server: int, nbytes: int, parent_span=None, cwnd_cap=None, ctx=None):
         """Move a request payload through the server's switch output port."""
-        yield from self._windowed(self.server_ports[server], nbytes, parent_span, cwnd_cap)
+        yield from self._windowed(
+            self.server_ports[server], nbytes, parent_span, cwnd_cap, ctx
+        )
 
-    def to_client(self, client: int, nbytes: int, parent_span=None, cwnd_cap=None):
+    def to_client(self, client: int, nbytes: int, parent_span=None, cwnd_cap=None, ctx=None):
         """Move a reply through the client's switch output port (incast path)."""
-        yield from self._windowed(self.client_port(client), nbytes, parent_span, cwnd_cap)
+        yield from self._windowed(
+            self.client_port(client), nbytes, parent_span, cwnd_cap, ctx
+        )
 
-    def _windowed(self, port: SwitchPort, nbytes: int, parent_span=None, cwnd_cap=None):
+    def _windowed(self, port: SwitchPort, nbytes: int, parent_span=None, cwnd_cap=None, ctx=None):
         """One flow's windowed injection through a finite output buffer.
 
         Each round: inject up to ``cwnd`` packets.  Whatever fits in the
@@ -532,16 +572,28 @@ class Topology:
         (the collective shuffle) caps each flow at its share of the port
         buffer so the concurrent windows fit the buffer *at once*; TCP
         left alone grows past it and tail-drops.
+
+        ``ctx`` (a :class:`repro.obs.RequestContext`) attributes the
+        flow's damage to its request: drops and RTOs bump the context's
+        counters in-line, and — with a bundle active — per-tenant
+        ``net.fabric.tenant.*{tenant=}`` counters.  Attribution never
+        changes simulated time.
         """
         if nbytes <= 0:
             return
         fab = self.fabric
         span = None
+        t_drops = t_rtos = None
         if self.obs is not None:
+            attrs = ctx.span_attrs() if ctx is not None else {}
             span = self.obs.tracer.start(
                 "fabric.xfer", parent=parent_span, at=self.sim.now,
-                port=port.name, nbytes=nbytes,
+                port=port.name, nbytes=nbytes, **attrs,
             )
+            if ctx is not None:
+                m = self.obs.metrics
+                t_drops = m.counter("net.fabric.tenant.drops_pkts", tenant=ctx.tenant)
+                t_rtos = m.counter("net.fabric.tenant.rtos", tenant=ctx.tenant)
         max_w = fab.max_cwnd if cwnd_cap is None else max(1, min(fab.max_cwnd, cwnd_cap))
         total = -(-nbytes // fab.pkt_bytes)  # ceil
         cwnd = min(fab.init_cwnd, max_w)
@@ -553,6 +605,12 @@ class Topology:
                 # full-window loss: no ack, no dup-acks — wait out the RTO
                 port.record_drops(want)
                 port.record_timeouts(1)
+                if ctx is not None:
+                    ctx.drops_pkts += want
+                    ctx.rtos += 1
+                    if t_drops is not None:
+                        t_drops.inc(want)
+                        t_rtos.inc()
                 yield Timeout(fab.rto_s(self.rng))
                 cwnd = min(fab.init_cwnd, max_w)
                 continue
@@ -560,6 +618,10 @@ class Topology:
                 # partial loss: triple-dup-ack fast retransmit, window halves
                 port.record_drops(want - admit)
                 port.record_retransmit(1)
+                if ctx is not None:
+                    ctx.drops_pkts += want - admit
+                    if t_drops is not None:
+                        t_drops.inc(want - admit)
                 cwnd = max(1, cwnd // 2)
             else:
                 cwnd = min(cwnd + 1, max_w)

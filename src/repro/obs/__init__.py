@@ -31,12 +31,20 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from repro.obs.clock import Clock, LogicalClock, MonotonicClock, SimClock
+from repro.obs.context import (
+    PathSegment,
+    RequestContext,
+    critical_path,
+    critical_path_duration,
+    request_spans,
+    request_timeline,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
     MetricsRegistry,
 )
-from repro.obs.spans import Span, Tracer
+from repro.obs.spans import Span, Tracer, spans_to_tracelog
 
 __all__ = [
     "Clock",
@@ -46,12 +54,19 @@ __all__ = [
     "MetricsRegistry",
     "MonotonicClock",
     "Observability",
+    "PathSegment",
+    "RequestContext",
     "SimClock",
     "Span",
     "Tracer",
     "activate",
+    "critical_path",
+    "critical_path_duration",
     "current",
     "deactivate",
+    "request_spans",
+    "request_timeline",
+    "spans_to_tracelog",
     "tracer",
     "use",
 ]
@@ -70,6 +85,20 @@ class Observability:
         self.clock: Clock = clock if clock is not None else LogicalClock()
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(self.clock)
+        self._next_rid = 0
+
+    def request_context(
+        self, op: str = "", tenant: str = "default", origin: str = ""
+    ) -> RequestContext:
+        """Mint a new :class:`RequestContext` with a bundle-sequential id.
+
+        Client edges call this once per end-to-end request (or accept a
+        caller-supplied context and skip minting); ids restart at 1 for
+        every bundle, so same-seed runs trace identically.
+        """
+        self._next_rid += 1
+        self.metrics.counter("obs.requests", tenant=tenant).inc()
+        return RequestContext(self._next_rid, tenant=tenant, op=op, origin=origin)
 
     def report(self, meta: Optional[dict] = None, top_spans: int = 10) -> dict:
         from repro.obs.report import build_report

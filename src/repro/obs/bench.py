@@ -1,0 +1,288 @@
+"""Perf-trajectory harness: pinned scenarios → ``BENCH_<rev>.json``.
+
+Pillar 3 of the observability tentpole (docs/observability.md).  The
+ROADMAP's "batched event engine" item needs a baseline to beat and a
+trajectory to not regress; this module is that trajectory::
+
+    PYTHONPATH=src python -m repro.obs.bench                 # BENCH_<rev>.json
+    PYTHONPATH=src python -m repro.obs.bench --only x17_collective
+    python tools/benchdiff.py benchmarks/results/BENCH_baseline.json BENCH_ci.json
+
+Each benchmark is a self-contained scenario drawn from the tier-1 suite
+and the x14–x17 benchmark drivers, run under its own fresh
+:class:`repro.obs.Observability` bundle.  Per benchmark the harness
+records:
+
+* **deterministic** metrics — events dispatched (summed over every
+  simulator the scenario builds, read from the bundle's
+  ``sim.events_dispatched`` counter), peak heap depth
+  (``sim.max_heap_depth`` gauge), span count, and the scenario's own
+  simulated makespan.  These are machine-independent: any change is a
+  real behaviour change.
+* **wall-clock** metrics — best-of-``--repeat`` wall seconds and the
+  derived events/sec.  Machine-dependent; ``tools/benchdiff.py``
+  normalizes them by the geometric mean across benchmarks before
+  comparing.
+
+Output is sorted-key JSON, one file per revision, committed under
+``benchmarks/results/`` when blessing a new baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro import obs as obs_mod
+
+#: Schema tag for BENCH_*.json consumers (tools/benchdiff.py checks it).
+SCHEMA = "repro-bench-v1"
+
+
+# -- pinned scenarios ---------------------------------------------------
+def _bench_pfs_checkpoint() -> dict:
+    """Fig-8 style N-1 strided checkpoint, direct vs PLFS (tier-1 core path)."""
+    from repro.pfs import LUSTRE_LIKE
+    from repro.plfs.simbridge import speedup
+    from repro.workloads.patterns import n1_strided
+
+    direct, plfs, ratio = speedup(
+        LUSTRE_LIKE.with_servers(4), n1_strided(8, 47 * 1024, 4)
+    )
+    return {"sim_makespan_s": direct.makespan_s + plfs.makespan_s, "plfs_speedup": ratio}
+
+
+def _bench_giga_creates() -> dict:
+    """GIGA+ concurrent create storm (metadata path, splits and retries)."""
+    from repro.giga.cluster import run_metarates
+
+    r = run_metarates(n_servers=8, n_clients=16, files_per_client=40)
+    return {"sim_makespan_s": r.makespan_s, "creates": r.total_creates}
+
+
+def _bench_x14_stripe_read() -> dict:
+    """X14: striped checkpoint read-back through a finite-buffer fabric."""
+    from repro.net.fabric import FabricParams
+    from repro.pfs.params import PFSParams
+    from repro.pfs.system import SimPFS
+    from repro.sim import Simulator
+
+    total, op = 4 << 20, 1 << 20
+    fabric = FabricParams(name="1GE-1ms", buffer_pkts=64, min_rto_s=1e-3, seed=7)
+    sim = Simulator()
+    pfs = SimPFS(sim, PFSParams(n_servers=8, stripe_unit=64 * 1024, fabric=fabric))
+
+    def write():
+        yield from pfs.op_create(0, "/ckpt")
+        pos = 0
+        while pos < total:
+            yield from pfs.op_write(0, "/ckpt", pos, op)
+            pos += op
+
+    def read():
+        pos = 0
+        while pos < total:
+            yield from pfs.op_read(1, "/ckpt", pos, op)
+            pos += op
+
+    sim.spawn(write())
+    sim.run()
+    sim.spawn(read())
+    sim.run()
+    return {"sim_makespan_s": sim.now}
+
+
+def _bench_x15_placement() -> dict:
+    """X15-style: congestion-aware placement writing past hot ports."""
+    from repro.net.fabric import FabricParams
+    from repro.pfs.params import PFSParams
+    from repro.pfs.system import SimPFS
+    from repro.sim import Simulator, Timeout
+
+    fabric = FabricParams(name="1GE-64pkt", buffer_pkts=64, min_rto_s=1e-3, seed=11)
+    params = PFSParams(
+        n_servers=8, stripe_unit=64 * 1024, fabric=fabric, placement="congestion"
+    )
+    sim = Simulator()
+    pfs = SimPFS(sim, params)
+    topo = pfs.topology
+
+    def background(server: int):
+        # an external tenant keeps two ports hot through the shared switch
+        for _ in range(4):
+            yield from topo.to_server(server, 1 << 20)
+
+    def foreground():
+        for i in range(24):
+            path = f"/f{i}"
+            yield from pfs.op_create(2, path)
+            yield from pfs.op_write(2, path, 0, 64 * 1024)
+            yield Timeout(1e-4)
+
+    for hot in (0, 1):
+        for _ in range(2):
+            sim.spawn(background(hot))
+    sim.spawn(foreground())
+    sim.run()
+    return {"sim_makespan_s": sim.now}
+
+
+def _bench_x16_faulted() -> dict:
+    """X16-style: faulted checkpointing with RS(4+2) reconstruction."""
+    from repro.faults import FaultEvent, FaultSchedule
+    from repro.pfs.params import PFSParams
+    from repro.workloads.checkpoint import run_faulted_checkpoint
+
+    schedule = FaultSchedule(
+        [
+            FaultEvent(at_s=25.0, kind="server_crash", target=2),
+            FaultEvent(at_s=40.0, kind="server_recover", target=2),
+            FaultEvent(at_s=55.0, kind="app_interrupt"),
+            FaultEvent(at_s=70.0, kind="server_crash", target=5),
+            FaultEvent(at_s=85.0, kind="server_recover", target=5),
+        ],
+        name="bench-x16",
+    )
+    r = run_faulted_checkpoint(
+        PFSParams(n_servers=8, redundancy="rs:4+2"),
+        work_s=120.0,
+        tau_s=20.0,
+        ckpt_bytes=8 << 20,
+        n_ranks=4,
+        faults=schedule,
+    )
+    return {"sim_makespan_s": r.makespan_s, "checkpoints": r.checkpoints}
+
+
+def _bench_x17_collective() -> dict:
+    """X17: fabric-aware collective write through a 32-packet switch."""
+    from repro.collective.twophase import CollectiveConfig, run_collective_write
+    from repro.net.fabric import FabricParams
+    from repro.pfs.params import PFSParams
+
+    fabric = FabricParams(name="1GE-32pkt", buffer_pkts=32, min_rto_s=0.2, seed=3)
+    config = CollectiveConfig(n_ranks=16, n_aggregators=4)
+    params = PFSParams(n_servers=8, stripe_unit=64 * 1024, fabric=fabric)
+    r = run_collective_write(config, params, scheme="fabric-aware")
+    return {"sim_makespan_s": r.makespan_s, "shuffle_rtos": r.shuffle_rtos}
+
+
+#: name -> scenario callable; ordered, pinned — additions append only so
+#: baselines stay comparable benchmark-by-benchmark.
+BENCHMARKS: dict[str, Callable[[], dict]] = {
+    "pfs_checkpoint": _bench_pfs_checkpoint,
+    "giga_creates": _bench_giga_creates,
+    "x14_stripe_read": _bench_x14_stripe_read,
+    "x15_placement": _bench_x15_placement,
+    "x16_faulted": _bench_x16_faulted,
+    "x17_collective": _bench_x17_collective,
+}
+
+
+# -- harness ------------------------------------------------------------
+def run_benchmark(name: str, fn: Callable[[], dict], repeat: int = 1) -> dict:
+    """Run one scenario ``repeat`` times; wall = best-of, the rest from run 1.
+
+    Each run gets a fresh bundle, so kernel totals (every simulator the
+    scenario builds counts into ``sim.events_dispatched`` /
+    ``sim.max_heap_depth``) and span counts are per-run and exactly
+    reproducible.
+    """
+    best_wall = None
+    result: dict = {}
+    for i in range(max(1, repeat)):
+        with obs_mod.use(obs_mod.Observability(name=f"bench:{name}")) as o:
+            t0 = time.perf_counter()
+            extra = fn() or {}
+            wall = time.perf_counter() - t0
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+        if i == 0:
+            snap = o.metrics.snapshot()
+            events = snap["counters"].get("sim.events_dispatched", 0.0)
+            result = {
+                "events_dispatched": int(events),
+                "peak_heap_depth": int(snap["gauges"].get("sim.max_heap_depth", 0.0)),
+                "spans": len(o.tracer.finished_spans()),
+                **{k: v for k, v in sorted(extra.items())},
+            }
+    result["wall_s"] = best_wall
+    result["events_per_s"] = (
+        result["events_dispatched"] / best_wall if best_wall and best_wall > 0 else 0.0
+    )
+    return result
+
+
+def run_all(
+    repeat: int = 1, only: Optional[str] = None, rev: str = "dev"
+) -> dict:
+    names = [only] if only else list(BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise KeyError(f"unknown benchmark(s) {unknown}; have {list(BENCHMARKS)}")
+    return {
+        "schema": SCHEMA,
+        "rev": rev,
+        "repeat": repeat,
+        "env": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+        },
+        "benchmarks": {n: run_benchmark(n, BENCHMARKS[n], repeat) for n in names},
+    }
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "dev"
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Run the pinned perf-trajectory benchmarks, emit BENCH_<rev>.json.",
+    )
+    parser.add_argument("-o", "--output", help="output path (default BENCH_<rev>.json)")
+    parser.add_argument("--rev", help="revision tag (default: git short hash)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="wall-clock repeats per benchmark, best-of (default 1)")
+    parser.add_argument("--only", help="run a single benchmark by name")
+    parser.add_argument("--list", action="store_true", help="list benchmark names")
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in BENCHMARKS:
+            print(name)
+        return 0
+    rev = args.rev or _git_rev()
+    try:
+        doc = run_all(repeat=args.repeat, only=args.only, rev=rev)
+    except KeyError as exc:
+        parser.exit(2, f"python -m repro.obs.bench: error: {exc.args[0]}\n")
+    out = Path(args.output) if args.output else Path(f"BENCH_{rev}.json")
+    out.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n")
+    for name, row in doc["benchmarks"].items():
+        print(
+            f"{name:<18} {row['events_dispatched']:>9} events  "
+            f"{row['wall_s']:.3f}s  {row['events_per_s']:.0f} ev/s  "
+            f"heap<={row['peak_heap_depth']}"
+        )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

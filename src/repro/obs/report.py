@@ -11,6 +11,19 @@ CLI::
     python -m repro.obs.report job.json            # pretty-print
     python -m repro.obs.report a.json b.json       # field-level diff
     python -m repro.obs.report --selftest          # determinism smoke test
+    python -m repro.obs.report --json ...          # machine-readable output
+
+Exit codes (stable; CI and ``tools/benchdiff.py`` rely on them):
+
+====  ===============================================================
+0     report printed, diffed reports identical, or selftest passed
+1     ``diff`` found differing fields, or selftest failed
+2     usage error, unreadable file, or not a report file
+====  ===============================================================
+
+``--json`` emits sorted-key JSON instead of the pretty printer: a
+single report is echoed verbatim; a diff prints ``{"identical": bool,
+"n_diffs": int, "diffs": [...]}`` (exit code unchanged).
 """
 
 from __future__ import annotations
@@ -231,9 +244,15 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="Pretty-print, diff, or self-test per-job observability reports.",
+        epilog="exit codes: 0 ok/identical/selftest-pass; "
+               "1 diff mismatch or selftest failure; 2 usage or unreadable file",
     )
     parser.add_argument("files", nargs="*", help="one report to print, or two to diff")
     parser.add_argument("--selftest", action="store_true", help="run the determinism smoke test")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable sorted-key JSON output instead of the pretty printer",
+    )
     args = parser.parse_args(argv)
     if args.selftest:
         return selftest()
@@ -246,10 +265,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         except json.JSONDecodeError as exc:
             parser.exit(2, f"python -m repro.obs.report: error: {path}: not a report file ({exc})\n")
     if len(reports) == 1:
-        print(format_report(reports[0]))
+        if args.json:
+            print(json.dumps(reports[0], sort_keys=True, indent=1))
+        else:
+            print(format_report(reports[0]))
         return 0
     if len(reports) == 2:
         diffs = diff_reports(reports[0], reports[1])
+        if args.json:
+            print(json.dumps(
+                {"identical": not diffs, "n_diffs": len(diffs), "diffs": diffs},
+                sort_keys=True, indent=1,
+            ))
+            return 1 if diffs else 0
         if not diffs:
             print("reports identical")
             return 0

@@ -165,24 +165,10 @@ class Tracer:
     def to_tracelog(self, rank_key: str = "rank"):
         """Bridge finished spans into a :class:`~repro.tracing.records.TraceLog`.
 
-        A span whose attrs carry ``op`` (a VFS op name) becomes a single
-        :class:`TraceEvent`; any other span becomes an open/close pair at
-        its boundaries, with the span name as the path — enough for CView
-        per-rank binning to render span activity.
+        See :func:`spans_to_tracelog`, which this delegates to; the
+        per-request variant is :func:`repro.obs.context.request_timeline`.
         """
-        from repro.tracing.records import OPS, TraceEvent, TraceLog
-
-        log = TraceLog()
-        for s in self.finished_spans():
-            rank = int(s.attrs.get(rank_key, 0))
-            nbytes = int(s.attrs.get("nbytes", 0))
-            op = s.attrs.get("op")
-            if op in OPS:
-                log.add(TraceEvent(s.start, rank, op, nbytes=nbytes, path=s.name))
-            else:
-                log.add(TraceEvent(s.start, rank, "open", path=s.name))
-                log.add(TraceEvent(s.end, rank, "close", nbytes=nbytes, path=s.name))
-        return log
+        return spans_to_tracelog(self.finished_spans(), rank_key)
 
     # -- summaries ----------------------------------------------------
     def by_name(self) -> dict[str, dict]:
@@ -209,3 +195,26 @@ class Tracer:
                 cur = by_id.get(cur.parent_id) if cur.parent_id is not None else None
             best = max(best, len(names))
         return best
+
+
+def spans_to_tracelog(spans, rank_key: str = "rank"):
+    """Bridge an iterable of finished spans into a ``TraceLog``.
+
+    A span whose attrs carry ``op`` (a VFS op name) becomes a single
+    :class:`TraceEvent`; any other span becomes an open/close pair at
+    its boundaries, with the span name as the path — enough for CView
+    per-rank binning to render span activity.
+    """
+    from repro.tracing.records import OPS, TraceEvent, TraceLog
+
+    log = TraceLog()
+    for s in spans:
+        rank = int(s.attrs.get(rank_key, 0))
+        nbytes = int(s.attrs.get("nbytes", 0))
+        op = s.attrs.get("op")
+        if op in OPS:
+            log.add(TraceEvent(s.start, rank, op, nbytes=nbytes, path=s.name))
+        else:
+            log.add(TraceEvent(s.start, rank, "open", path=s.name))
+            log.add(TraceEvent(s.end, rank, "close", nbytes=nbytes, path=s.name))
+    return log

@@ -57,6 +57,7 @@ class _ServerRequest:
     write: bool
     done: Event
     parent_span: object = None  # obs span of the issuing client op, if any
+    ctx: object = None          # RequestContext of the issuing client op, if any
 
 
 class _StorageServer:
@@ -217,13 +218,17 @@ class _StorageServer:
                 if req.write:
                     # request payload converges on this server's switch port
                     yield Timeout(p.rpc_latency_s)
-                    yield from fab.to_server(self.index, req.nbytes, parent_span=span)
+                    yield from fab.to_server(
+                        self.index, req.nbytes, parent_span=span, ctx=req.ctx
+                    )
                     yield Timeout(disk_s)
                 else:
                     # striped-read replies converge on the *client's* switch
                     # port — the incast path
                     yield Timeout(p.rpc_latency_s + disk_s)
-                    yield from fab.to_client(req.client, req.nbytes, parent_span=span)
+                    yield from fab.to_client(
+                        req.client, req.nbytes, parent_span=span, ctx=req.ctx
+                    )
             # record once, after service completes, from one source of truth
             elapsed = self.sim.now - t0
             self.counters.add("requests")
@@ -473,7 +478,8 @@ class SimPFS:
         order = [s for s in ring if s not in by_server] + [s for s in ring if s in by_server]
         return [(order[j % len(order)], share) for j in range(red.m)]
 
-    def _ft_issue(self, fh, client, server, sexts, sbytes, write, parent_span, parity=False):
+    def _ft_issue(self, fh, client, server, sexts, sbytes, write, parent_span,
+                  parity=False, ctx=None):
         """Queue one server request, return its completion event."""
         done = self.sim.event(f"ft:{'w' if write else 'r'}:{fh.file_id}@{server}")
         self.servers[server].queue.put(
@@ -485,6 +491,7 @@ class SimPFS:
                 write=write,
                 done=done,
                 parent_span=parent_span,
+                ctx=ctx,
             )
         )
         return done
@@ -520,7 +527,14 @@ class SimPFS:
         sim.call_after(timeout_s, expire)
         return race
 
-    def _ft_write_child(self, fh, client, server, sexts, sbytes, parent_span, parity=False):
+    def _ctx_retry(self, ctx) -> None:
+        """Attribute one retry to its request/tenant (zero sim-time cost)."""
+        if ctx is not None:
+            ctx.retries += 1
+            self._fcount("tenant.retries", tenant=ctx.tenant)
+
+    def _ft_write_child(self, fh, client, server, sexts, sbytes, parent_span,
+                        parity=False, ctx=None):
         """Resilient single-server write: retries, backoff, failover.
 
         Returns ``("ok", nbytes)`` or ``("err", RetriesExhausted)`` so the
@@ -546,7 +560,7 @@ class SimPFS:
                     continue
             exts = self._parity_extents(fh, target, sbytes) if parity or target != server else sexts
             ev = self._ft_issue(fh, client, target, exts, sbytes, True, parent_span,
-                                parity=parity or target != server)
+                                parity=parity or target != server, ctx=ctx)
             try:
                 yield Wait(self._ft_race(ev, target, ft.op_timeout_s))
                 return ("ok", sbytes)
@@ -557,12 +571,13 @@ class SimPFS:
                     return ("err", RetriesExhausted(target, self.sim.now, attempts + 1, exc))
                 delay = ft.backoff_s(attempts, self._ft_rng)
                 self._fcount("retries")
+                self._ctx_retry(ctx)
                 if self.obs is not None:
                     self.obs.metrics.histogram("faults.backoff_s").observe(delay)
                 attempts += 1
                 yield Timeout(delay)
 
-    def _ft_read_child(self, fh, client, server, sexts, sbytes, parent_span):
+    def _ft_read_child(self, fh, client, server, sexts, sbytes, parent_span, ctx=None):
         """Resilient single-server read; fails over to reconstruction."""
         ft = self.resilience
         red = self.redundancy
@@ -575,12 +590,15 @@ class SimPFS:
                     and red is not None
                     and self._down_servers() <= red.tolerance
                 ):
-                    ok = yield from self._ft_reconstruct(fh, client, server, sbytes, parent_span)
+                    ok = yield from self._ft_reconstruct(
+                        fh, client, server, sbytes, parent_span, ctx=ctx
+                    )
                     if ok:
                         return ("ok", sbytes)
                     # not enough surviving sources right now — retry later
                     raise ServerDown(server, self.sim.now)
-                ev = self._ft_issue(fh, client, server, sexts, sbytes, False, parent_span)
+                ev = self._ft_issue(fh, client, server, sexts, sbytes, False, parent_span,
+                                    ctx=ctx)
                 yield Wait(self._ft_race(ev, server, ft.op_timeout_s))
                 return ("ok", sbytes)
             except FaultError as exc:
@@ -590,12 +608,13 @@ class SimPFS:
                     return ("err", RetriesExhausted(server, self.sim.now, attempts + 1, exc))
                 delay = ft.backoff_s(attempts, self._ft_rng)
                 self._fcount("retries")
+                self._ctx_retry(ctx)
                 if self.obs is not None:
                     self.obs.metrics.histogram("faults.backoff_s").observe(delay)
                 attempts += 1
                 yield Timeout(delay)
 
-    def _ft_reconstruct(self, fh, client, server, sbytes, parent_span):
+    def _ft_reconstruct(self, fh, client, server, sbytes, parent_span, ctx=None):
         """Rebuild ``sbytes`` lost on a dead server from surviving shares.
 
         RS reads ``sbytes`` from each of k surviving servers and pays a
@@ -628,11 +647,15 @@ class SimPFS:
             )
         self._fcount("reconstructions")
         self._fcount("reconstructed_bytes", sbytes)
+        if ctx is not None:
+            ctx.reconstructions += 1
+            self._fcount("tenant.reconstructions", tenant=ctx.tenant)
         events = [
             self._ft_issue(
                 fh, client, src,
                 [Extent(server=src, server_offset=0, logical_offset=0, length=sbytes)],
                 sbytes, False, span if span is not None else parent_span, parity=True,
+                ctx=ctx,
             )
             for src in sources
         ]
@@ -680,8 +703,14 @@ class SimPFS:
             raise first_err
 
     # -- data operations ----------------------------------------------------
-    def op_write(self, client: int, path: str, offset: int, nbytes: int, parent_span=None):
-        """Write process: locks, client NIC, fan-out to servers, wait all."""
+    def op_write(self, client: int, path: str, offset: int, nbytes: int,
+                 parent_span=None, ctx=None):
+        """Write process: locks, client NIC, fan-out to servers, wait all.
+
+        ``ctx`` is an optional :class:`repro.obs.RequestContext`; with a
+        bundle active and no context supplied, this client edge mints one
+        (so every write is request-addressable in the trace).
+        """
         fh = self.lookup(path)
         p = self.params
         if nbytes <= 0:
@@ -690,8 +719,11 @@ class SimPFS:
         obs = self.obs
         sp = None
         if obs is not None:
+            if ctx is None:
+                ctx = obs.request_context(op="write", origin="pfs")
             sp = obs.tracer.start(
-                "pfs.write", parent=parent_span, at=start, client=client, nbytes=nbytes
+                "pfs.write", parent=parent_span, at=start, client=client,
+                nbytes=nbytes, **ctx.span_attrs(),
             )
         # 1. coherence charges — lock migrations serialize through the
         #    file's lock service (DLM conversations are not parallel)
@@ -735,6 +767,7 @@ class SimPFS:
                         write=True,
                         done=done,
                         parent_span=sp,
+                        ctx=ctx,
                     )
                 )
                 events.append(done)
@@ -748,7 +781,7 @@ class SimPFS:
                 sbytes = sum(e.length for e in sexts)
                 procs.append(
                     self.sim.spawn(
-                        self._ft_write_child(fh, client, server, sexts, sbytes, sp),
+                        self._ft_write_child(fh, client, server, sexts, sbytes, sp, ctx=ctx),
                         name=f"ftw:{fh.file_id}@{server}",
                     )
                 )
@@ -761,7 +794,8 @@ class SimPFS:
                 for pserver, pb in ptargets:
                     procs.append(
                         self.sim.spawn(
-                            self._ft_write_child(fh, client, pserver, None, pb, sp, parity=True),
+                            self._ft_write_child(fh, client, pserver, None, pb, sp,
+                                                 parity=True, ctx=ctx),
                             name=f"ftp:{fh.file_id}@{pserver}",
                         )
                     )
@@ -773,8 +807,13 @@ class SimPFS:
             sp.finish(at=self.sim.now)
         return self.sim.now - start
 
-    def op_read(self, client: int, path: str, offset: int, nbytes: int, parent_span=None):
-        """Read process (no coherence charges for concurrent readers)."""
+    def op_read(self, client: int, path: str, offset: int, nbytes: int,
+                parent_span=None, ctx=None):
+        """Read process (no coherence charges for concurrent readers).
+
+        ``ctx`` as in :meth:`op_write`: optional request context, minted
+        here when absent and a bundle is active.
+        """
         fh = self.lookup(path)
         nbytes = max(0, min(nbytes, fh.size - offset))
         if nbytes <= 0:
@@ -783,8 +822,11 @@ class SimPFS:
         obs = self.obs
         sp = None
         if obs is not None:
+            if ctx is None:
+                ctx = obs.request_context(op="read", origin="pfs")
             sp = obs.tracer.start(
-                "pfs.read", parent=parent_span, at=start, client=client, nbytes=nbytes
+                "pfs.read", parent=parent_span, at=start, client=client,
+                nbytes=nbytes, **ctx.span_attrs(),
             )
         exts = self._extents_for(fh, offset, nbytes)
         by_server: dict[int, list[Extent]] = {}
@@ -806,6 +848,7 @@ class SimPFS:
                         write=False,
                         done=done,
                         parent_span=sp,
+                        ctx=ctx,
                     )
                 )
                 events.append(done)
@@ -817,7 +860,8 @@ class SimPFS:
             procs = [
                 self.sim.spawn(
                     self._ft_read_child(
-                        fh, client, server, sexts, sum(e.length for e in sexts), sp
+                        fh, client, server, sexts, sum(e.length for e in sexts), sp,
+                        ctx=ctx,
                     ),
                     name=f"ftr:{fh.file_id}@{server}",
                 )

@@ -46,14 +46,27 @@ class NFSCluster:
             StripeLayout(params.n_data_servers, params.stripe_unit)
         )
 
+    def _edge_span(self, name: str, client: int, nbytes: int, ctx):
+        """Start a request-addressable edge span (or return (None, ctx))."""
+        obs = getattr(self.sim, "obs", None)
+        if obs is None:
+            return None, ctx
+        if ctx is None:
+            ctx = obs.request_context(op="write", origin="pnfs")
+        span = obs.tracer.start(
+            name, at=self.sim.now, client=client, nbytes=nbytes, **ctx.span_attrs()
+        )
+        return span, ctx
+
     # -- plain NFS ------------------------------------------------------
-    def nfs_write(self, client: int, nbytes: int, chunk: int = 1 << 20):
+    def nfs_write(self, client: int, nbytes: int, chunk: int = 1 << 20, ctx=None):
         """All bytes through the server NIC, then its backend.
 
         Pipelined at chunk granularity: while the backend commits chunk k,
         the NIC already receives chunk k+1 (the two stages are separate
         resources with a background drainer per chunk)."""
         p = self.params
+        span, ctx = self._edge_span("nfs.write", client, nbytes, ctx)
 
         def backend_stage(take: int, done):
             grant = yield Acquire(self.nfs_backend)
@@ -75,14 +88,17 @@ class NFSCluster:
         for ev in pending:
             if not ev.triggered:
                 yield ev
+        if span is not None:
+            span.finish(at=self.sim.now)
 
     # -- pNFS ---------------------------------------------------------------
     def pnfs_write(
         self, client: int, nbytes: int, kind: LayoutKind = LayoutKind.FILE,
-        chunk: int = 1 << 20,
+        chunk: int = 1 << 20, ctx=None,
     ):
         """LAYOUTGET at the MDS, direct striped I/O, LAYOUTCOMMIT."""
         p = self.params
+        span, ctx = self._edge_span("pnfs.write", client, nbytes, ctx)
         grant = yield Acquire(self.mds)
         yield Timeout(p.mds_op_s)
         layout = self.layouts.grant(client, f"/f{client}", kind, shift=client)
@@ -106,6 +122,8 @@ class NFSCluster:
         yield Timeout(p.mds_op_s)
         self.layouts.layout_return(layout)
         self.mds.release(grant)
+        if span is not None:
+            span.finish(at=self.sim.now)
 
 
 def run_scaling_experiment(

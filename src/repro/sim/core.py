@@ -8,9 +8,15 @@ number).  No wall-clock or nondeterministic source is consulted anywhere.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+import re
+import time as _time
+from typing import Any, Callable, Generator, Iterable, Optional, Union
 
 from repro.obs import current as _current_obs
+
+#: Process labels are grouped by stripping run numbers: "osd12" and
+#: "osd3" both profile as "osd#", "shuffle:3->1" as "shuffle:#->#".
+_DIGITS = re.compile(r"\d+")
 
 
 class SimulationError(RuntimeError):
@@ -152,6 +158,7 @@ class Process:
                 target = self.gen.send(value) if self._started else next(self.gen)
                 self._started = True
         except StopIteration as stop:
+            self.sim.processes_finished += 1
             if self.sim._c_finished is not None:
                 self.sim._c_finished.value += 1.0
             self.done_event.succeed(stop.value)
@@ -196,18 +203,42 @@ class Simulator:
         kernel counts scheduled/dispatched events and process lifecycle
         into the bundle's registry, and resources built on this
         simulator record wait/service histograms.
+    profile:
+        Kernel profiler knob (flight-recorder pillar 2).  ``False``
+        (default) disables it; ``True`` measures the wall time of every
+        dispatched event; an integer ``n > 1`` samples one event in
+        ``n`` (the sampled counts/times are ~``1/n`` of the totals).
+        Samples are attributed to the scheduled callback's *label* —
+        the owning process name with run numbers stripped (``osd#``),
+        or the callback's qualname — and read back via
+        :meth:`profile_stats`.  Profiling never touches simulated time.
+
+    Independently of ``obs`` and ``profile``, the kernel keeps **always-
+    on totals** cheap enough for uninstrumented runs — events scheduled/
+    dispatched, processes spawned/finished, max heap depth, wall-clock
+    per :meth:`run` slice — snapshot via :meth:`event_stats`.
     """
 
     def __init__(
         self,
         trace: Optional[Callable[[float, str], None]] = None,
         obs=None,
+        profile: Union[bool, int] = False,
     ) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable, tuple]] = []
         self._seq = 0
         self._trace = trace
         self._crashed: Optional[BaseException] = None
+        # always-on kernel totals (see event_stats); plain int/float bumps
+        self.events_dispatched = 0
+        self.processes_spawned = 0
+        self.processes_finished = 0
+        self.max_heap_depth = 0
+        self.run_wall_s = 0.0
+        self.run_slices = 0
+        self._profile_every = 1 if profile is True else int(profile)
+        self._profile_acc: dict[str, list] = {}  # label -> [samples, wall_s]
         self.obs = obs if obs is not None else _current_obs()
         if self.obs is not None:
             m = self.obs.metrics
@@ -226,6 +257,8 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
         heapq.heappush(self._heap, (time, self._seq, fn, args))
         self._seq += 1
+        if len(self._heap) > self.max_heap_depth:
+            self.max_heap_depth = len(self._heap)
         if self._c_scheduled is not None:
             self._c_scheduled.value += 1.0
 
@@ -244,6 +277,7 @@ class Simulator:
         """Start a new process; it takes its first step at the current time."""
         proc = Process(self, gen, name=name)
         self._schedule(self.now, proc._step)
+        self.processes_spawned += 1
         if self._c_spawned is not None:
             self._c_spawned.value += 1.0
         return proc
@@ -264,6 +298,10 @@ class Simulator:
         """
         heap = self._heap
         dispatched = self._c_dispatched
+        profile_every = self._profile_every
+        n_disp = 0
+        wall0 = _time.perf_counter()
+        self.run_slices += 1
         try:
             while heap:
                 time, _seq, fn, args = heap[0]
@@ -276,7 +314,13 @@ class Simulator:
                     self._trace(time, getattr(fn, "__qualname__", repr(fn)))
                 if dispatched is not None:
                     dispatched.value += 1.0
-                fn(*args)
+                n_disp += 1
+                if profile_every and n_disp % profile_every == 0:
+                    t0 = _time.perf_counter()
+                    fn(*args)
+                    self._profile_note(fn, _time.perf_counter() - t0)
+                else:
+                    fn(*args)
                 if self._crashed is not None:
                     exc, self._crashed = self._crashed, None
                     raise exc
@@ -284,11 +328,71 @@ class Simulator:
                 if until is not None and until > self.now:
                     self.now = until
         finally:
-            # keep the gauge truthful even when a crashed process re-raises
+            self.events_dispatched += n_disp
+            self.run_wall_s += _time.perf_counter() - wall0
+            # keep the gauges truthful even when a crashed process re-raises
             if self._g_now is not None:
                 self._g_now.set(self.now)
+                g = self.obs.metrics.gauge("sim.max_heap_depth")
+                if self.max_heap_depth > g.value:
+                    g.set(float(self.max_heap_depth))
         return self.now
 
     def peek(self) -> float:
         """Time of the next pending event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")
+
+    # -- kernel introspection (flight-recorder pillar 2) --------------
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (the FIFO tie-break sequence)."""
+        return self._seq
+
+    def event_stats(self) -> dict:
+        """Always-on kernel totals; available with or without a bundle."""
+        return {
+            "events_scheduled": self.events_scheduled,
+            "events_dispatched": self.events_dispatched,
+            "processes_spawned": self.processes_spawned,
+            "processes_finished": self.processes_finished,
+            "max_heap_depth": self.max_heap_depth,
+            "pending_events": len(self._heap),
+            "run_slices": self.run_slices,
+            "run_wall_s": self.run_wall_s,
+            "events_per_s": (
+                self.events_dispatched / self.run_wall_s if self.run_wall_s > 0 else 0.0
+            ),
+            "now": self.now,
+        }
+
+    def _profile_note(self, fn: Callable, wall_s: float) -> None:
+        owner = getattr(fn, "__self__", None)
+        if isinstance(owner, Process):
+            label = owner.name
+        else:
+            label = getattr(fn, "__qualname__", repr(fn))
+        label = _DIGITS.sub("#", label)
+        acc = self._profile_acc.get(label)
+        if acc is None:
+            self._profile_acc[label] = [1, wall_s]
+        else:
+            acc[0] += 1
+            acc[1] += wall_s
+
+    def profile_stats(self) -> dict[str, dict]:
+        """Sampled per-label wall time (requires ``profile=``), sorted by label.
+
+        With ``profile=n`` each label's ``est_events`` / ``est_wall_s``
+        scale the samples back up by ``n``; with ``profile=True`` they
+        equal the measured values.
+        """
+        every = self._profile_every or 1
+        return {
+            label: {
+                "samples": samples,
+                "wall_s": wall,
+                "est_events": samples * every,
+                "est_wall_s": wall * every,
+            }
+            for label, (samples, wall) in sorted(self._profile_acc.items())
+        }

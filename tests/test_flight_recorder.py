@@ -1,0 +1,438 @@
+"""Flight-recorder tests: request contexts, critical path, profiler, bench.
+
+Covers the three tentpole pillars (docs/observability.md) plus the
+ISSUE-6 satellites: span nesting across fabric sim processes,
+obs-bundle isolation under request-context propagation (same-seed
+determinism pair, byte-identical traces), report ``--json`` exit codes,
+and a bench-harness/benchdiff roundtrip.  The x17-style collective test
+pins the acceptance criterion: ``critical_path`` over a request's span
+tree sums to the measured makespan within 1%.
+"""
+
+import io
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import obs as obs_mod
+from repro.obs import (
+    Observability,
+    PathSegment,
+    RequestContext,
+    Span,
+    Tracer,
+    critical_path,
+    critical_path_duration,
+    request_spans,
+    request_timeline,
+)
+from repro.sim import Simulator, Timeout
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+import benchdiff  # noqa: E402  (tools/ is not a package)
+
+
+# -- request contexts ---------------------------------------------------
+def test_request_ids_are_sequential_per_bundle():
+    o = Observability(name="rids")
+    c1 = o.request_context(op="write", origin="pfs")
+    c2 = o.request_context(op="read", tenant="batch", origin="pfs")
+    assert (c1.request_id, c2.request_id) == (1, 2)
+    assert c2.tenant == "batch"
+    assert o.metrics.counter("obs.requests", tenant="default").value == 1.0
+    # a fresh bundle restarts the sequence — same-seed runs trace identically
+    assert Observability(name="other").request_context().request_id == 1
+
+
+def test_request_context_span_attrs_and_dict():
+    ctx = RequestContext(7, tenant="t0", op="write", origin="pfs")
+    assert ctx.span_attrs() == {"rid": 7, "tenant": "t0"}
+    ctx.drops_pkts += 3
+    ctx.rtos += 1
+    d = ctx.as_dict()
+    assert d["drops_pkts"] == 3 and d["rtos"] == 1 and d["retries"] == 0
+
+
+# -- critical path ------------------------------------------------------
+def _span(tr, name, t0, t1, parent=None, **attrs):
+    s = tr.start(name, parent=parent, at=t0, **attrs)
+    s.finish(at=t1)
+    return s
+
+
+def test_critical_path_hand_built_tree():
+    """root [0,10]; child a [0,4], child b [2,9]; grandchild c [2,5] under b.
+
+    Backward sweep: root owns [9,10]; b owns [5,9]; c owns [2,5]
+    (last-finishing child of b before t=5... actually of b's window);
+    then b's remaining [2,2] is empty, and a owns [0,2]... a ends at 4,
+    but the cursor continues from b.start=2: a is the last child ending
+    in (0, 2]?  a ends at 4 > 2, clamped — root owns [0,2] itself unless
+    a child ends within.  The invariant that matters: segments tile
+    [0, 10] exactly and are chronological.
+    """
+    tr = Tracer()
+    root = _span(tr, "root", 0.0, 10.0)
+    _span(tr, "a", 0.0, 4.0, parent=root)
+    b = _span(tr, "b", 2.0, 9.0, parent=root)
+    _span(tr, "c", 2.0, 5.0, parent=b)
+    segs = critical_path(tr)
+    assert segs[0].t0 == 0.0 and segs[-1].t1 == 10.0
+    for prev, nxt in zip(segs, segs[1:]):
+        assert prev.t1 == nxt.t0  # contiguous tiling, no gaps or overlaps
+    assert critical_path_duration(segs) == pytest.approx(10.0)
+    names = [s.name for s in segs]
+    assert "b" in names and "c" in names and names[-1] == "root"
+
+
+def test_critical_path_single_span_and_empty():
+    tr = Tracer()
+    assert critical_path(tr) == []
+    _span(tr, "only", 1.0, 3.0)
+    segs = critical_path(tr)
+    assert segs == [PathSegment(1, "only", 1.0, 3.0)]
+    assert segs[0].duration == pytest.approx(2.0)
+
+
+def test_critical_path_sums_to_root_duration_on_pfs_trace():
+    """A real SimPFS write trace: segments tile the edge span exactly."""
+    from repro.pfs.params import PFSParams
+    from repro.pfs.system import SimPFS
+
+    with obs_mod.use(Observability(name="cp-pfs")) as o:
+        sim = Simulator()
+        pfs = SimPFS(sim, PFSParams(n_servers=4))
+
+        def writer():
+            yield from pfs.op_create(0, "/f")
+            yield from pfs.op_write(0, "/f", 0, 1 << 20)
+
+        sim.spawn(writer())
+        sim.run()
+        root = next(s for s in o.tracer.spans if s.name == "pfs.write")
+        segs = critical_path(o.tracer, root=root)
+        assert critical_path_duration(segs) == pytest.approx(root.duration)
+        # the server leg must appear on the path, not just the edge span
+        assert any(seg.name == "pfs.server.request" for seg in segs)
+
+
+def test_x17_critical_path_within_1pct_of_makespan():
+    """Acceptance criterion: on the x17 collective benchmark, the active
+    bundle's per-request critical path sums to within 1% of the measured
+    makespan."""
+    from repro.collective.twophase import CollectiveConfig, run_collective_write
+    from repro.net.fabric import FabricParams
+    from repro.pfs.params import PFSParams
+
+    fabric = FabricParams(name="1GE-32pkt", buffer_pkts=32, min_rto_s=0.2, seed=3)
+    with obs_mod.use(Observability(name="x17")) as o:
+        result = run_collective_write(
+            CollectiveConfig(n_ranks=16, n_aggregators=4),
+            PFSParams(n_servers=8, stripe_unit=64 * 1024, fabric=fabric),
+            scheme="fabric-aware",
+        )
+        roots = [s for s in o.tracer.spans if s.name == "collective.write"]
+        assert len(roots) == 1 and roots[0].attrs["rid"] == 1
+        segs = critical_path(o.tracer, root=roots[0])
+        total = critical_path_duration(segs)
+        assert abs(total - result.makespan_s) <= 0.01 * result.makespan_s
+        # every span of the collective belongs to request 1, including
+        # fabric transfers and PFS server legs reached via parent chains
+        spans = request_spans(o.tracer, 1)
+        names = {s.name for s in spans}
+        assert {"collective.write", "collective.phase2", "pfs.write"} <= names
+
+
+def test_request_spans_inherit_through_parent_chain():
+    tr = Tracer()
+    root = _span(tr, "edge", 0.0, 5.0, rid=3, tenant="t")
+    mid = _span(tr, "mid", 1.0, 4.0, parent=root)
+    _span(tr, "leaf", 2.0, 3.0, parent=mid)
+    _span(tr, "other", 0.0, 1.0, rid=4)
+    got = [s.name for s in request_spans(tr, 3)]
+    assert got == ["edge", "mid", "leaf"]
+
+
+def test_request_timeline_bridges_to_cview():
+    from repro.tracing.cview import cview_bins
+
+    tr = Tracer()
+    root = _span(tr, "pfs.write", 0.0, 4.0, rid=1, tenant="default", client=2)
+    _span(tr, "pfs.xfer", 1.0, 2.0, parent=root, client=2)
+    log = request_timeline(tr, 1, rank_key="client")
+    assert len(log) > 0
+    grid = cview_bins(log, n_bins=4)
+    assert grid["calls"].shape == (3, 4)  # ranks 0..2 dense, rank 2 present
+
+
+# -- fabric drop/RTO attribution ---------------------------------------
+def test_fabric_drops_attribute_to_request_and_tenant():
+    """A fan-in overwhelming a tiny port attributes its drops to the ctx."""
+    from repro.net.fabric import FabricParams, Link, Topology
+
+    fabric = FabricParams(name="tiny", buffer_pkts=4, min_rto_s=1e-3, seed=1)
+    with obs_mod.use(Observability(name="attr")) as o:
+        sim = Simulator()
+        topo = Topology(sim, 2, Link(125e6), Link(125e6), fabric=fabric)
+        ctx = o.request_context(op="write", tenant="acme", origin="test")
+
+        def flow():
+            yield from topo.to_server(0, 64 * 1500, ctx=ctx)
+
+        for _ in range(4):
+            sim.spawn(flow())
+        sim.run()
+        assert ctx.drops_pkts > 0
+        snap = o.metrics.snapshot()["counters"]
+        assert snap["net.fabric.tenant.drops_pkts{tenant=acme}"] == ctx.drops_pkts
+        port_drops = snap["net.fabric.drops_pkts{port=server0}"]
+        assert port_drops == topo.server_ports[0].total_drops_pkts == ctx.drops_pkts
+        if ctx.rtos:
+            assert snap["net.fabric.tenant.rtos{tenant=acme}"] == ctx.rtos
+
+
+def test_switchport_stats_and_blackout_totals():
+    from repro.net.fabric import FabricParams, Link, SwitchPort
+
+    port = SwitchPort(Link(125e6), FabricParams(buffer_pkts=8), name="p0")
+    port.set_down(True)
+    port.set_down(True)   # idempotent: still one transition
+    port.set_down(False)
+    port.set_down(True)
+    port.record_drops(5)
+    st = port.stats()
+    assert st["blackouts"] == port.total_blackouts == 2
+    assert st["drops_pkts"] == 5 and st["down"] is True and st["port"] == "p0"
+
+
+# -- span nesting across fabric sim processes (satellite) ---------------
+def test_span_nesting_spans_fabric_processes():
+    """pfs.write → pfs.server.request → fabric.xfer nest across the
+    client process, the server process, and the windowed flow."""
+    from repro.net.fabric import FabricParams
+    from repro.pfs.params import PFSParams
+    from repro.pfs.system import SimPFS
+
+    fabric = FabricParams(name="t", buffer_pkts=32, min_rto_s=1e-3, seed=5)
+    with obs_mod.use(Observability(name="nest")) as o:
+        sim = Simulator()
+        pfs = SimPFS(sim, PFSParams(n_servers=4, fabric=fabric))
+
+        def writer():
+            yield from pfs.op_create(0, "/n")
+            yield from pfs.op_write(0, "/n", 0, 1 << 20)
+
+        sim.spawn(writer())
+        sim.run()
+        by_id = {s.span_id: s for s in o.tracer.spans}
+        xfers = [s for s in o.tracer.spans if s.name == "fabric.xfer"]
+        assert xfers, "finite fabric must trace transfers"
+        chain = []
+        cur = xfers[0]
+        while cur is not None:
+            chain.append(cur.name)
+            cur = by_id.get(cur.parent_id) if cur.parent_id is not None else None
+        assert chain == ["fabric.xfer", "pfs.server.request", "pfs.write"]
+        assert o.tracer.nesting_depth() >= 3
+
+
+# -- obs-bundle isolation + same-seed determinism (satellite) -----------
+def _traced_run() -> tuple[str, int]:
+    """One seeded finite-fabric PFS run; returns (JSONL trace, first rid)."""
+    from repro.net.fabric import FabricParams
+    from repro.pfs.params import PFSParams
+    from repro.pfs.system import SimPFS
+
+    fabric = FabricParams(name="d", buffer_pkts=16, min_rto_s=1e-3, seed=13)
+    with obs_mod.use(Observability(name="det")) as o:
+        sim = Simulator()
+        pfs = SimPFS(sim, PFSParams(n_servers=4, fabric=fabric))
+
+        def writer(c):
+            yield from pfs.op_create(c, f"/d{c}")
+            yield from pfs.op_write(c, f"/d{c}", 0, 256 * 1024)
+
+        for c in range(3):
+            sim.spawn(writer(c))
+        sim.run()
+        buf = io.StringIO()
+        o.tracer.export_jsonl(buf)
+        first = next(s for s in o.tracer.spans if "rid" in s.attrs)
+        return buf.getvalue(), first.attrs["rid"]
+
+
+def test_same_seed_runs_trace_byte_identically():
+    (a, rid_a), (b, rid_b) = _traced_run(), _traced_run()
+    assert a == b and a  # byte-for-byte, and non-empty
+    assert rid_a == rid_b == 1  # rid sequences restart per bundle
+
+
+def test_request_minting_isolated_between_bundles():
+    o1, o2 = Observability(name="one"), Observability(name="two")
+    with obs_mod.use(o1):
+        o1.request_context()
+        o1.request_context()
+    with obs_mod.use(o2):
+        assert o2.request_context().request_id == 1
+    assert o1._next_rid == 2  # untouched by o2's minting
+
+
+# -- kernel profiler (pillar 2) -----------------------------------------
+def test_event_stats_without_bundle():
+    sim = Simulator()
+
+    def p():
+        yield Timeout(1.0)
+        yield Timeout(1.0)
+
+    sim.spawn(p(), name="w1")
+    sim.spawn(p(), name="w2")
+    sim.run()
+    st = sim.event_stats()
+    assert st["events_scheduled"] == st["events_dispatched"] == sim.events_scheduled
+    assert st["processes_spawned"] == st["processes_finished"] == 2
+    assert st["max_heap_depth"] >= 2
+    assert st["pending_events"] == 0 and st["run_slices"] == 1
+    assert st["run_wall_s"] > 0 and st["events_per_s"] > 0
+    assert st["now"] == pytest.approx(2.0)
+
+
+def test_profile_labels_strip_run_numbers():
+    sim = Simulator(profile=True)
+
+    def p():
+        yield Timeout(0.5)
+
+    for i in range(4):
+        sim.spawn(p(), name=f"osd{i}")
+    sim.run()
+    stats = sim.profile_stats()
+    assert set(stats) == {"osd#"}
+    row = stats["osd#"]
+    assert row["samples"] == row["est_events"] == sim.events_dispatched
+    assert row["wall_s"] >= 0.0
+
+
+def test_profile_sampling_one_in_n():
+    sim = Simulator(profile=4)
+
+    def p():
+        for _ in range(20):
+            yield Timeout(0.1)
+
+    sim.spawn(p(), name="worker")
+    sim.run()
+    stats = sim.profile_stats()
+    total = sum(r["samples"] for r in stats.values())
+    assert total == sim.events_dispatched // 4
+    for row in stats.values():
+        assert row["est_events"] == row["samples"] * 4
+
+
+def test_profile_off_by_default_and_heap_gauge_with_bundle():
+    with obs_mod.use(Observability(name="gauge")) as o:
+        sim = Simulator()
+
+        def p():
+            yield Timeout(1.0)
+
+        for i in range(5):
+            sim.spawn(p(), name=f"g{i}")
+        sim.run()
+        assert sim._profile_every == 0 and sim.profile_stats() == {}
+        g = o.metrics.snapshot()["gauges"]["sim.max_heap_depth"]
+        assert g == sim.max_heap_depth >= 5
+
+
+# -- bench harness + benchdiff (pillar 3) -------------------------------
+def _fake_bench(events_a: int, wall_a: float, events_b: int, wall_b: float) -> dict:
+    return {
+        "schema": benchdiff.SCHEMA,
+        "rev": "t",
+        "benchmarks": {
+            "a": {"events_dispatched": events_a, "peak_heap_depth": 4,
+                  "sim_makespan_s": 1.0, "wall_s": wall_a},
+            "b": {"events_dispatched": events_b, "peak_heap_depth": 4,
+                  "sim_makespan_s": 2.0, "wall_s": wall_b},
+        },
+    }
+
+
+def test_bench_harness_deterministic_fields(tmp_path):
+    from repro.obs import bench
+
+    one = bench.run_benchmark("pfs", bench.BENCHMARKS["pfs_checkpoint"])
+    two = bench.run_benchmark("pfs", bench.BENCHMARKS["pfs_checkpoint"])
+    for key in ("events_dispatched", "peak_heap_depth", "spans", "sim_makespan_s"):
+        assert one[key] == two[key], key
+    assert one["events_dispatched"] > 0 and one["peak_heap_depth"] > 0
+    out = tmp_path / "BENCH_x.json"
+    assert bench.main(["-o", str(out), "--rev", "x", "--only", "giga_creates"]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == bench.SCHEMA and "giga_creates" in doc["benchmarks"]
+    assert bench.main(["--list"]) == 0
+
+
+def test_benchdiff_identical_passes_and_regression_fails(capsys):
+    base = _fake_bench(1000, 0.5, 2000, 1.0)
+    assert benchdiff.compare(base, base, 0.25, "relative") == []
+    # deterministic regression: +60% events on one benchmark
+    worse = _fake_bench(1600, 0.5, 2000, 1.0)
+    problems = benchdiff.compare(base, worse, 0.25, "relative")
+    assert any("a.events_dispatched" in p for p in problems)
+    # uniform 2x wall slowdown is normalized away (machine speed)...
+    slower = _fake_bench(1000, 1.0, 2000, 2.0)
+    assert benchdiff.compare(base, slower, 0.25, "relative") == []
+    # ...but a single benchmark slowing down relative to its peers fails
+    skewed = _fake_bench(1000, 2.0, 2000, 1.0)
+    problems = benchdiff.compare(base, skewed, 0.25, "relative")
+    assert any("a.wall_s" in p for p in problems)
+    # a benchmark missing from the current run fails
+    missing = _fake_bench(1000, 0.5, 2000, 1.0)
+    del missing["benchmarks"]["b"]
+    assert any("missing" in p for p in benchdiff.compare(base, missing, 0.25, "off"))
+
+
+def test_benchdiff_cli_roundtrip(tmp_path):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(_fake_bench(1000, 0.5, 2000, 1.0)))
+    cur.write_text(json.dumps(_fake_bench(1000, 0.5, 2000, 1.0)))
+    assert benchdiff.main([str(base), str(cur)]) == 0
+    cur.write_text(json.dumps(_fake_bench(9000, 0.5, 2000, 1.0)))
+    assert benchdiff.main([str(base), str(cur), "--no-wall"]) == 1
+
+
+def test_committed_baseline_matches_schema():
+    path = Path(__file__).resolve().parents[1] / "benchmarks/results/BENCH_baseline.json"
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == benchdiff.SCHEMA
+    from repro.obs.bench import BENCHMARKS
+
+    assert set(doc["benchmarks"]) == set(BENCHMARKS)
+    for row in doc["benchmarks"].values():
+        assert row["events_dispatched"] > 0 and row["wall_s"] > 0
+
+
+# -- report --json (satellite) ------------------------------------------
+def test_report_json_single_and_diff_exit_codes(tmp_path, capsys):
+    from repro.obs.report import main as report_main
+
+    with obs_mod.use(Observability(name="rj")) as o:
+        o.metrics.counter("x").inc(3)
+        report = o.report()
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps(report, sort_keys=True))
+    report["counters"]["x"] = 4.0
+    b.write_text(json.dumps(report, sort_keys=True))
+    assert report_main(["--json", str(a)]) == 0
+    assert json.loads(capsys.readouterr().out)["job"] == "rj"
+    assert report_main(["--json", str(a), str(a)]) == 0
+    assert json.loads(capsys.readouterr().out)["identical"] is True
+    assert report_main(["--json", str(a), str(b)]) == 1
+    out = json.loads(capsys.readouterr().out)
+    assert out["identical"] is False and out["n_diffs"] == 1
+    assert out["diffs"][0]["path"] == "counters.x"

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files; fail on regressions beyond a tolerance.
+
+Used by the CI ``bench`` job::
+
+    python tools/benchdiff.py benchmarks/results/BENCH_baseline.json BENCH_ci.json
+
+Two classes of metric, compared differently:
+
+* **Deterministic** (``events_dispatched``, ``peak_heap_depth``,
+  ``sim_makespan_s``) — machine-independent, compared directly: the
+  current value must not exceed baseline × (1 + tolerance).  A growth
+  here is a real behaviour change (more events scheduled, deeper heap,
+  slower simulated outcome), whatever the hardware.
+* **Wall-clock** (``wall_s``) — machine-dependent.  Each benchmark's
+  current/baseline ratio is divided by the *geometric mean* of all
+  ratios, cancelling uniform machine-speed differences; a benchmark
+  fails only if it slowed down relative to its peers by more than the
+  tolerance.  Caveat: a uniform slowdown across every benchmark is
+  normalized away by construction — that case is caught by the
+  deterministic event counts and by the committed trajectory over time,
+  not by one diff.  ``--absolute-wall`` disables the normalization for
+  same-machine comparisons; ``--no-wall`` skips wall checks entirely.
+
+Exit codes: 0 no regression, 1 regression (or missing benchmark), 2
+usage / unreadable / schema-mismatched input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+SCHEMA = "repro-bench-v1"
+DETERMINISTIC = ("events_dispatched", "peak_heap_depth", "sim_makespan_s")
+
+
+def load(path: str) -> dict:
+    try:
+        doc = json.loads(Path(path).read_text())
+    except OSError as exc:
+        sys.exit(f"benchdiff: error: {exc}")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"benchdiff: error: {path}: not a bench file ({exc})")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"benchdiff: error: {path}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    return doc
+
+
+def compare(base: dict, cur: dict, tolerance: float, wall: str) -> list[str]:
+    """Return a list of regression descriptions (empty = pass)."""
+    problems: list[str] = []
+    b_rows, c_rows = base["benchmarks"], cur["benchmarks"]
+    missing = sorted(set(b_rows) - set(c_rows))
+    for name in missing:
+        problems.append(f"{name}: missing from current run")
+    common = [n for n in b_rows if n in c_rows]
+    for name in common:
+        for key in DETERMINISTIC:
+            if key not in b_rows[name]:
+                continue
+            b, c = b_rows[name][key], c_rows[name].get(key)
+            if c is None:
+                problems.append(f"{name}.{key}: missing from current run")
+            elif b > 0 and c > b * (1.0 + tolerance):
+                problems.append(
+                    f"{name}.{key}: {c:g} vs baseline {b:g} "
+                    f"(+{(c / b - 1.0) * 100:.1f}% > {tolerance * 100:.0f}%)"
+                )
+    if wall != "off":
+        ratios = {}
+        for name in common:
+            b, c = b_rows[name].get("wall_s"), c_rows[name].get("wall_s")
+            if b and c and b > 0:
+                ratios[name] = c / b
+        if ratios:
+            gmean = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
+            for name, r in sorted(ratios.items()):
+                norm = r / gmean if wall == "relative" else r
+                if norm > 1.0 + tolerance:
+                    how = "normalized " if wall == "relative" else ""
+                    problems.append(
+                        f"{name}.wall_s: {how}ratio {norm:.2f} > {1.0 + tolerance:.2f}"
+                    )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/benchdiff.py",
+        description="Fail when a BENCH_*.json run regresses past the baseline.",
+        epilog="exit codes: 0 ok, 1 regression/missing benchmark, 2 usage/bad input",
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative growth (default 0.25 = 25%%)")
+    parser.add_argument("--no-wall", action="store_true",
+                        help="skip wall-clock checks entirely")
+    parser.add_argument("--absolute-wall", action="store_true",
+                        help="compare raw wall ratios (same-machine runs)")
+    args = parser.parse_args(argv)
+    base, cur = load(args.baseline), load(args.current)
+    wall = "off" if args.no_wall else ("absolute" if args.absolute_wall else "relative")
+    problems = compare(base, cur, args.tolerance, wall)
+    names = [n for n in base["benchmarks"] if n in cur["benchmarks"]]
+    print(f"benchdiff: {base.get('rev')} -> {cur.get('rev')}  "
+          f"({len(names)} benchmarks, tolerance {args.tolerance * 100:.0f}%, wall={wall})")
+    for name in names:
+        b, c = base["benchmarks"][name], cur["benchmarks"][name]
+        print(f"  {name:<18} events {b.get('events_dispatched'):>9} -> "
+              f"{c.get('events_dispatched'):>9}   wall {b.get('wall_s', 0):.3f}s -> "
+              f"{c.get('wall_s', 0):.3f}s")
+    if problems:
+        for p in problems:
+            print(f"REGRESSION: {p}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
