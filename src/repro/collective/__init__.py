@@ -19,7 +19,9 @@ concurrency are all chosen against the switch-port buffer math of
 
 from repro.collective.aggsel import (
     AggregatorPlan,
+    domains_for_groups,
     phase1_fanin_cap,
+    rack_aligned_groups,
     select_aggregators,
     server_column_domains,
     shuffle_matrix,
@@ -39,8 +41,10 @@ __all__ = [
     "CollectiveResult",
     "SCHEMES",
     "aligned_domains",
+    "domains_for_groups",
     "even_domains",
     "phase1_fanin_cap",
+    "rack_aligned_groups",
     "run_collective_write",
     "select_aggregators",
     "server_column_domains",

@@ -62,6 +62,10 @@ class AggregatorPlan:
         stripe chunks make up that aggregator's domain.
     phase1_fanin_cap: max concurrent shuffle senders per aggregator
         switch port (``2**30`` on an ideal fabric).
+    aggregator_clients: on a leaf/spine topology, the client id each
+        aggregator should run as — co-racked with its server group so
+        phase-2 writes never cross a spine uplink; ``None`` on a flat
+        topology (aggregator ``g`` runs as client ``g``).
     """
 
     scheme: str
@@ -70,6 +74,7 @@ class AggregatorPlan:
     domains: tuple[Extents, ...]
     server_groups: tuple[tuple[int, ...], ...]
     phase1_fanin_cap: int
+    aggregator_clients: Optional[tuple[int, ...]] = None
 
     @property
     def total_bytes(self) -> int:
@@ -80,6 +85,11 @@ class AggregatorPlan:
             raise ValueError("one domain per aggregator required")
         if self.phase1_fanin_cap < 1:
             raise ValueError("phase-1 fan-in cap must be >= 1")
+        if (
+            self.aggregator_clients is not None
+            and len(self.aggregator_clients) != self.n_aggregators
+        ):
+            raise ValueError("one client id per aggregator required")
 
 
 def server_column_domains(
@@ -113,12 +123,27 @@ def server_column_domains(
         size = base + (1 if g < extra else 0)
         groups.append(tuple(range(start, start + size)))
         start += size
+    return domains_for_groups(total_bytes, n_servers, stripe_unit, groups, shift), groups
+
+
+def domains_for_groups(
+    total_bytes: int,
+    n_servers: int,
+    stripe_unit: int,
+    groups: list[tuple[int, ...]],
+    shift: int = 0,
+) -> list[Extents]:
+    """Per-group stripe-chunk domains for an *explicit* server grouping.
+
+    The chunk-ownership half of :func:`server_column_domains`, reusable
+    with rack-aligned groups from :func:`rack_aligned_groups`.
+    """
     owner = {}
     for g, members in enumerate(groups):
         for s in members:
             owner[s] = g
     n_units = -(-total_bytes // stripe_unit)  # ceil
-    extents: list[list[tuple[int, int]]] = [[] for _ in range(n_aggregators)]
+    extents: list[list[tuple[int, int]]] = [[] for _ in range(len(groups))]
     for chunk in range(n_units):
         g = owner[(chunk + shift) % n_servers]
         lo = chunk * stripe_unit
@@ -128,7 +153,44 @@ def server_column_domains(
             runs[-1] = (runs[-1][0], hi)
         else:
             runs.append((lo, hi))
-    return [tuple(e) for e in extents], groups
+    return [tuple(e) for e in extents]
+
+
+def rack_aligned_groups(n_servers: int, n_groups: int, topology) -> list[tuple[int, ...]]:
+    """Split servers into groups that never straddle a rack boundary.
+
+    Every group is a subset of one rack's servers, so an aggregator
+    co-racked with its group (via
+    :attr:`AggregatorPlan.aggregator_clients`) writes phase 2 without
+    touching a spine uplink.  Each rack gets at least one group; extra
+    groups go to the racks with the most servers per group (largest
+    remainder, ties to the lower rack id — deterministic).
+    """
+    racks: dict[int, list[int]] = {}
+    for s in range(n_servers):
+        racks.setdefault(topology.server_rack(s), []).append(s)
+    rack_ids = sorted(racks)
+    n_groups = max(len(rack_ids), min(n_groups, n_servers))
+    quota = {r: 1 for r in rack_ids}
+    left = n_groups - len(rack_ids)
+    while left > 0:
+        open_racks = [r for r in rack_ids if quota[r] < len(racks[r])]
+        if not open_racks:
+            break
+        r = max(open_racks, key=lambda r: (len(racks[r]) / quota[r], -r))
+        quota[r] += 1
+        left -= 1
+    groups: list[tuple[int, ...]] = []
+    for r in rack_ids:
+        members = racks[r]
+        k = min(quota[r], len(members))
+        base, extra = divmod(len(members), k)
+        start = 0
+        for i in range(k):
+            size = base + (1 if i < extra else 0)
+            groups.append(tuple(members[start:start + size]))
+            start += size
+    return groups
 
 
 def shuffle_matrix(
@@ -176,6 +238,7 @@ def select_aggregators(
     requested: Optional[int] = None,
     feedback=None,
     shift: int = 0,
+    topology=None,
 ) -> AggregatorPlan:
     """Choose aggregator count and placement against the fabric.
 
@@ -197,13 +260,21 @@ def select_aggregators(
         headroom to offer a synchronized shuffle).
     shift: the file's starting-server rotation
         (:attr:`repro.pfs.system.FileHandle.shift`).
+    topology: optional :class:`~repro.net.fabric.Topology`; on a
+        leaf/spine fabric the server groups become rack-aligned (no
+        group straddles a spine uplink, so per-uplink phase-2 fan-in is
+        bounded by the rack's own aggregators) and the plan carries
+        co-racked :attr:`~AggregatorPlan.aggregator_clients`.  A flat
+        topology (or ``None``) changes nothing.
 
     The count rule: start at ``min(n_servers, n_ranks)`` — one server
     group per aggregator maximizes phase-2 parallelism while keeping
     per-server-port fan-in at 1 — then halve while the thinnest phase-1
     flow would carry less than one initial congestion window of data
     (``init_cwnd * pkt_bytes``): flows below that floor are pure
-    latency, so more aggregators only multiply round trips.
+    latency, so more aggregators only multiply round trips.  On a
+    leaf/spine topology the count never drops below the rack count
+    (each rack keeps a local aggregator).
     """
     if total_bytes < 1 or n_ranks < 1:
         raise ValueError("need total_bytes and n_ranks >= 1")
@@ -214,11 +285,25 @@ def select_aggregators(
         cost = max(costs) if costs else 0.0
     cap = phase1_fanin_cap(params, fab, cost=cost)
     floor_bytes = fab.init_cwnd * fab.pkt_bytes
-    n = max(1, min(params.n_servers, n_ranks))
-    while n > 1:
-        domains, groups = server_column_domains(
-            total_bytes, params.n_servers, params.stripe_unit, n, shift=shift
+    ls_topo = topology if getattr(topology, "leafspine", None) is not None else None
+
+    def resolve(n: int) -> tuple[list[Extents], list[tuple[int, ...]]]:
+        if ls_topo is None:
+            return server_column_domains(
+                total_bytes, params.n_servers, params.stripe_unit, n, shift=shift
+            )
+        groups = rack_aligned_groups(params.n_servers, n, ls_topo)
+        domains = domains_for_groups(
+            total_bytes, params.n_servers, params.stripe_unit, groups, shift=shift
         )
+        return domains, groups
+
+    floor_n = 1
+    if ls_topo is not None:
+        floor_n = len({ls_topo.server_rack(s) for s in range(params.n_servers)})
+    n = max(floor_n, min(params.n_servers, n_ranks))
+    while n > floor_n:
+        domains, groups = resolve(n)
         if pattern is not None:
             slices = [nb for sends in shuffle_matrix(pattern, domains) for _, nb in sends]
         else:
@@ -226,11 +311,19 @@ def select_aggregators(
         thinnest = min(slices) if slices else 0
         if fab.ideal or thinnest >= floor_bytes:
             break
-        n = n // 2
-    domains, groups = server_column_domains(
-        total_bytes, params.n_servers, params.stripe_unit, n, shift=shift
-    )
+        n = max(floor_n, n // 2)
+    domains, groups = resolve(n)
     keep = [g for g, exts in enumerate(domains) if exts]
+    aggregator_clients = None
+    if ls_topo is not None:
+        placed: dict[int, int] = {}
+        clients = []
+        for g in keep:
+            rack = ls_topo.server_rack(groups[g][0])
+            k = placed.get(rack, 0)
+            placed[rack] = k + 1
+            clients.append(ls_topo.client_for_rack(rack, k))
+        aggregator_clients = tuple(clients)
     return AggregatorPlan(
         scheme="fabric-aware",
         n_aggregators=len(keep),
@@ -238,4 +331,5 @@ def select_aggregators(
         domains=tuple(domains[g] for g in keep),
         server_groups=tuple(groups[g] for g in keep),
         phase1_fanin_cap=cap,
+        aggregator_clients=aggregator_clients,
     )

@@ -193,6 +193,7 @@ def run_collective_write(
             requested=config.n_aggregators,
             feedback=feedback,
             shift=pfs.lookup(path).shift,
+            topology=pfs.topology,
         )
         domains: list[tuple[tuple[int, int], ...]] = list(plan.domains)
         cap = plan.phase1_fanin_cap
@@ -204,6 +205,13 @@ def run_collective_write(
         domains = [((lo, hi),) for lo, hi in flat]
         cap = 0  # unthrottled: all ranks converge at once
     n_agg = len(domains)
+    # on a leaf/spine topology the plan co-racks each aggregator with its
+    # server group; flat topologies keep the historical "aggregator g is
+    # client g" identity
+    if plan is not None and plan.aggregator_clients is not None:
+        agg_clients = list(plan.aggregator_clients)
+    else:
+        agg_clients = list(range(n_agg))
     sends = None if fab.ideal else shuffle_matrix(config.pattern(), domains)
     obs = sim.obs
     root = ctx = None
@@ -223,11 +231,12 @@ def run_collective_write(
 
     def aggregator(g: int, extents: tuple[tuple[int, int], ...]):
         nbytes = sum(hi - lo for lo, hi in extents)
+        cid = agg_clients[g]
         asp = p1 = p2 = None
         if obs is not None:
             asp = obs.tracer.start(
                 "collective.aggregator", parent=root, at=sim.now,
-                aggregator=g, nbytes=nbytes,
+                aggregator=g, client=cid, nbytes=nbytes,
             )
             p1 = obs.tracer.start("collective.phase1", parent=asp, at=sim.now)
         # phase 1: gather the domain's bytes from the ranks
@@ -244,7 +253,7 @@ def run_collective_write(
 
             def sender(nb: int):
                 grant = yield Acquire(sem)
-                yield from topo.to_client(g, nb, cwnd_cap=win, parent_span=p1, ctx=ctx)
+                yield from topo.to_client(cid, nb, cwnd_cap=win, parent_span=p1, ctx=ctx)
                 sem.release(grant)
 
             senders = [sim.spawn(sender(nb), name=f"shuffle:{r}->{g}")
@@ -262,7 +271,7 @@ def run_collective_write(
             pos = lo
             while pos < hi:
                 take = min(buf, hi - pos)
-                yield from pfs.op_write(g, path, pos, take, parent_span=p2, ctx=ctx)
+                yield from pfs.op_write(cid, path, pos, take, parent_span=p2, ctx=ctx)
                 pos += take
         if obs is not None:
             p2.finish(at=sim.now)
@@ -275,7 +284,7 @@ def run_collective_write(
     drops = rtos = 0
     if not fab.ideal:
         for g in range(n_agg):
-            port = topo.client_port(g)
+            port = topo.client_port(agg_clients[g])
             drops += port.total_drops_pkts
             rtos += port.total_timeouts
     if root is not None:

@@ -11,7 +11,7 @@ the nodes holding their data) closed it entirely.
 :mod:`repro.dfs.mapreduce` runs the grep-like job over a node cluster.
 """
 
-from repro.dfs.backends import ClusterSpec, HDFSBackend, PVFSShimBackend
+from repro.dfs.backends import ClusterSpec, HDFSBackend, PVFSShimBackend, ReadPlan
 from repro.dfs.mapreduce import GrepJob, JobResult, run_grep
 
 __all__ = [
@@ -20,5 +20,6 @@ __all__ = [
     "HDFSBackend",
     "JobResult",
     "PVFSShimBackend",
+    "ReadPlan",
     "run_grep",
 ]

@@ -1,14 +1,31 @@
-"""Storage backends for the MapReduce model: HDFS-like and PVFS shim."""
+"""Storage backends for the MapReduce model: HDFS-like and PVFS shim.
+
+Network costs are *not* modelled here: each backend only knows where a
+chunk's bytes live (:meth:`replicas_of`) and what a read of it entails
+(:meth:`read_plan` — which server streams, how much software overhead,
+whether one disk bounds the stream).  The transfer itself is priced by
+the shared fabric (:mod:`repro.net.fabric`): ideal-fabric reads use
+:func:`repro.net.fabric.fluid_shared_Bps` / :class:`repro.net.fabric.Link`
+arithmetic (bit-identical with the historical inline math), finite-buffer
+fabrics route the bytes through :class:`repro.net.fabric.Topology`.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.net.fabric import FabricParams, IDEAL_FABRIC, Link, fluid_shared_Bps
 
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """Compute/storage co-located cluster."""
+    """Compute/storage co-located cluster.
+
+    ``fabric`` selects the network model every transfer rides
+    (:data:`repro.net.fabric.IDEAL_FABRIC` keeps the historical
+    analytic arithmetic; finite ``buffer_pkts`` and/or ``leafspine``
+    make remote reads real windowed flows with congestion and drops).
+    """
 
     n_nodes: int = 16
     disk_Bps: float = 80e6            # local disk streaming rate
@@ -16,6 +33,30 @@ class ClusterSpec:
     backplane_Bps: float = 640e6      # switch aggregate (oversubscribed)
     rpc_s: float = 1e-3               # synchronous small-read round trip
     chunk_bytes: int = 64 << 20       # DFS chunk/stripe granularity
+    fabric: FabricParams = field(default=IDEAL_FABRIC)
+
+
+@dataclass(frozen=True)
+class ReadPlan:
+    """What one map-task read entails, minus the network pricing.
+
+    Attributes
+    ----------
+    local: the reader holds the bytes (no network transfer).
+    server: the node that streams the bytes (the reader itself when
+        local; the primary replica/stripe holder when remote).
+    overhead_s: software overhead per chunk read (synchronous RPC
+        round trips — per-chunk for HDFS streaming, per-buffer for the
+        naive shim).
+    disk_bound: a remote stream is additionally bounded by the serving
+        node's one disk (HDFS whole-chunk reads); striped reads are fed
+        by many disks and are network-bound only.
+    """
+
+    local: bool
+    server: int
+    overhead_s: float
+    disk_bound: bool
 
 
 class HDFSBackend:
@@ -39,14 +80,28 @@ class HDFSBackend:
         return [(chunk_id + r * (1 + chunk_id % (n - 1))) % n for r in range(self.replication)] \
             if n > 1 else [0] * self.replication
 
+    def read_plan(self, chunk_id: int, node: int) -> ReadPlan:
+        replicas = self.replicas_of(chunk_id)
+        local = node in replicas
+        return ReadPlan(
+            local=local,
+            server=node if local else replicas[0],
+            overhead_s=self.spec.rpc_s,
+            disk_bound=True,
+        )
+
     def read_time(self, chunk_id: int, node: int, n_remote_readers: int) -> float:
+        """Ideal-fabric read cost (overhead + fluid-shared serialization)."""
         spec = self.spec
-        local = node in self.replicas_of(chunk_id)
-        if local:
-            return spec.rpc_s + spec.chunk_bytes / spec.disk_Bps
-        share = max(1, n_remote_readers)
-        net = min(spec.net_Bps, spec.backplane_Bps / share)
-        return spec.rpc_s + spec.chunk_bytes / min(net, spec.disk_Bps)
+        plan = self.read_plan(chunk_id, node)
+        if plan.local:
+            rate = spec.disk_Bps
+        else:
+            rate = min(
+                fluid_shared_Bps(spec.net_Bps, spec.backplane_Bps, n_remote_readers),
+                spec.disk_Bps,
+            )
+        return plan.overhead_s + Link(rate).transfer_s(spec.chunk_bytes)
 
 
 class PVFSShimBackend:
@@ -84,16 +139,26 @@ class PVFSShimBackend:
         n = self.spec.n_nodes
         return [(chunk_id * 7 + r) % n for r in range(self.replication)]
 
-    def read_time(self, chunk_id: int, node: int, n_remote_readers: int) -> float:
+    def read_plan(self, chunk_id: int, node: int) -> ReadPlan:
         spec = self.spec
         n_bufs = (spec.chunk_bytes + self.readahead_bytes - 1) // self.readahead_bytes
-        overhead = n_bufs * spec.rpc_s  # synchronous per-buffer round trips
-        local = self.expose_layout and node in self.replicas_of(chunk_id)
-        if local:
-            rate = spec.disk_Bps
-        else:
+        replicas = self.replicas_of(chunk_id)
+        local = self.expose_layout and node in replicas
+        return ReadPlan(
+            local=local,
+            server=node if local else replicas[0],
+            overhead_s=n_bufs * spec.rpc_s,  # synchronous per-buffer round trips
             # striped read: many server disks feed it, so it is network-
             # bound (NIC or contended backplane), not single-disk-bound
-            share = max(1, n_remote_readers)
-            rate = min(spec.net_Bps, spec.backplane_Bps / share)
-        return overhead + spec.chunk_bytes / rate
+            disk_bound=False,
+        )
+
+    def read_time(self, chunk_id: int, node: int, n_remote_readers: int) -> float:
+        """Ideal-fabric read cost (overhead + fluid-shared serialization)."""
+        spec = self.spec
+        plan = self.read_plan(chunk_id, node)
+        if plan.local:
+            rate = spec.disk_Bps
+        else:
+            rate = fluid_shared_Bps(spec.net_Bps, spec.backplane_Bps, n_remote_readers)
+        return plan.overhead_s + Link(rate).transfer_s(spec.chunk_bytes)

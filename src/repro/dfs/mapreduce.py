@@ -1,10 +1,24 @@
-"""A wave-scheduled MapReduce grep over a storage backend."""
+"""A wave-scheduled MapReduce grep over a storage backend.
+
+The grep runs as a discrete-event simulation: one process per compute
+node works through its assigned chunks in order, and every remote read
+is priced by the shared network fabric.  Under the ideal fabric the
+per-node timeline is plain ``overhead + serialization`` arithmetic
+(bit-identical with the historical analytic model — the equivalence
+goldens pin it); under a finite-buffer or leaf/spine fabric the remote
+bytes ride :class:`repro.net.fabric.Topology` as real windowed flows,
+inheriting congestion, drops, port blackouts, and per-request damage
+attribution.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
+
+from repro.net.fabric import Link, Topology
+from repro.sim import Simulator, Timeout
 
 
 @dataclass(frozen=True)
@@ -60,10 +74,34 @@ def _schedule(job: GrepJob, backend, spec) -> list[tuple[int, int, bool]]:
     return assignments
 
 
+def _grep_topology(sim: Simulator, spec) -> Topology:
+    """The cluster's shared fabric: one edge port per co-located node.
+
+    Compute and storage are co-located, so node ``i`` is both client
+    ``i`` (reading) and server ``i`` (serving).  On a leaf/spine fabric
+    the two identities must land in the same rack: clients are pinned
+    into contiguous blocks matching the server block assignment.
+    """
+    fab = spec.fabric
+    ls = fab.leafspine
+    if ls is not None and ls.clients_per_rack is None:
+        per_rack = -(-spec.n_nodes // ls.n_racks)  # ceil
+        fab = replace(fab, leafspine=replace(ls, clients_per_rack=per_rack))
+    return Topology(
+        sim,
+        n_servers=spec.n_nodes,
+        client_link=Link(spec.net_Bps),
+        server_link=Link(spec.net_Bps),
+        rpc_latency_s=spec.rpc_s,
+        fabric=fab,
+        name="dfs",
+    )
+
+
 def run_grep(job: GrepJob, backend, ctx=None) -> JobResult:
     """Execute the job in waves of one task per node.
 
-    An analytic model (no simulator), but still a request-addressable
+    A discrete-event run over the shared fabric; a request-addressable
     edge: with a bundle active it mints/accepts a
     :class:`repro.obs.RequestContext` and records a ``dfs.grep`` span.
     """
@@ -78,24 +116,58 @@ def run_grep(job: GrepJob, backend, ctx=None) -> JobResult:
             "dfs.grep", backend=backend.name, **ctx.span_attrs()
         )
     spec = backend.spec
+    fab = spec.fabric
     assignments = _schedule(job, backend, spec)
-    node_time = np.zeros(spec.n_nodes)
-    local_tasks = remote_tasks = 0
+    local_tasks = sum(1 for _, _, loc in assignments if loc)
+    remote_tasks = len(assignments) - local_tasks
     # remote-reader pressure estimated from the whole job's locality mix
-    n_remote = sum(1 for _, _, loc in assignments if not loc)
+    concurrent_remote = max(
+        1, int(round(remote_tasks * spec.n_nodes / max(1, job.n_chunks)))
+    )
+
+    by_node: dict[int, list[tuple[int, bool]]] = {}
     for chunk, node, local in assignments:
-        concurrent_remote = max(1, int(round(n_remote * spec.n_nodes / max(1, job.n_chunks))))
-        read = backend.read_time(chunk, node, concurrent_remote if not local else 1)
-        node_time[node] += read + job.cpu_s_per_chunk
-        if local:
-            local_tasks += 1
-        else:
-            remote_tasks += 1
+        by_node.setdefault(node, []).append((chunk, local))
+
+    sim = Simulator()
+    topo = _grep_topology(sim, spec)
+
+    def node_proc(node: int, tasks: list[tuple[int, bool]]):
+        for chunk, local in tasks:
+            if fab.ideal:
+                # overhead + fluid-shared serialization, priced by the
+                # backend through the fabric helpers (bit-identical with
+                # the historical inline arithmetic)
+                read = backend.read_time(
+                    chunk, node, concurrent_remote if not local else 1
+                )
+                yield Timeout(read + job.cpu_s_per_chunk)
+                continue
+            plan = backend.read_plan(chunk, node)
+            disk_s = spec.chunk_bytes / spec.disk_Bps
+            if plan.local:
+                yield Timeout(plan.overhead_s + disk_s)
+            else:
+                # store-and-forward: the holder reads its disk (HDFS
+                # whole-chunk streams; striped reads are fed by many
+                # disks), then the bytes ride the fabric to the reader
+                stage_s = plan.overhead_s + (disk_s if plan.disk_bound else 0.0)
+                yield Timeout(stage_s)
+                yield from topo.to_client(
+                    node, spec.chunk_bytes,
+                    parent_span=span, ctx=ctx, src_server=plan.server,
+                )
+            yield Timeout(job.cpu_s_per_chunk)
+
+    for node, tasks in by_node.items():
+        sim.spawn(node_proc(node, tasks), name=f"dfs.node{node}")
+    makespan = sim.run()
+
     result = JobResult(
         backend=backend.name
         + ("" if not getattr(backend, "readahead_bytes", None) else f"+ra{backend.readahead_bytes // 1024}k")
         + ("+layout" if getattr(backend, "expose_layout", False) else ""),
-        makespan_s=float(node_time.max()),
+        makespan_s=makespan,
         local_tasks=local_tasks,
         remote_tasks=remote_tasks,
         total_bytes=job.n_chunks * spec.chunk_bytes,

@@ -2,7 +2,8 @@
 
 A :class:`FaultSchedule` is an ordered list of timed :class:`FaultEvent`
 records — storage-server crash/recover, disk slowdown (service-time
-multiplier), fabric port blackout/restore, and application interrupts —
+multiplier), fabric port or whole-leaf-switch blackout/restore, and
+application interrupts —
 built by hand or derived from a
 :class:`repro.failure.traces.InterruptTrace`.  :meth:`FaultSchedule.inject`
 spawns one simulator process that sleeps to each event time and applies
@@ -37,6 +38,8 @@ KINDS = (
     "disk_slowdown",
     "port_blackout",
     "port_restore",
+    "leaf_blackout",
+    "leaf_restore",
     "app_interrupt",
 )
 
@@ -76,20 +79,25 @@ class FaultSchedule:
         self._validate()
 
     def _validate(self) -> None:
-        # every blackout must be lifted later: a permanently dark port makes
-        # windowed flows RTO-loop forever and the simulation never drains
-        open_blackouts: dict[int, float] = {}
-        for ev in self.events:
-            if ev.kind == "port_blackout":
-                open_blackouts[ev.target] = ev.at_s
-            elif ev.kind == "port_restore":
-                open_blackouts.pop(ev.target, None)
-        if open_blackouts:
-            port, at = next(iter(sorted(open_blackouts.items())))
-            raise ValueError(
-                f"port_blackout of port {port} at t={at}s has no matching "
-                "port_restore; a permanently dark port would wedge the run"
-            )
+        # every blackout must be lifted later: a permanently dark port (or
+        # leaf switch) makes windowed flows RTO-loop forever and the
+        # simulation never drains
+        for black, restore, what in (
+            ("port_blackout", "port_restore", "port"),
+            ("leaf_blackout", "leaf_restore", "leaf"),
+        ):
+            open_blackouts: dict[int, float] = {}
+            for ev in self.events:
+                if ev.kind == black:
+                    open_blackouts[ev.target] = ev.at_s
+                elif ev.kind == restore:
+                    open_blackouts.pop(ev.target, None)
+            if open_blackouts:
+                target, at = next(iter(sorted(open_blackouts.items())))
+                raise ValueError(
+                    f"{black} of {what} {target} at t={at}s has no matching "
+                    f"{restore}; a permanently dark {what} would wedge the run"
+                )
 
     # -- construction helpers -----------------------------------------
     @classmethod
@@ -197,4 +205,8 @@ class FaultSchedule:
             pfs.topology.set_port_down(ev.target, True)
         elif ev.kind == "port_restore":
             pfs.topology.set_port_down(ev.target, False)
+        elif ev.kind == "leaf_blackout":
+            pfs.topology.set_leaf_down(ev.target, True)
+        elif ev.kind == "leaf_restore":
+            pfs.topology.set_leaf_down(ev.target, False)
         # app_interrupt: consumed by workload drivers, nothing to apply here

@@ -5,9 +5,11 @@ from repro.net.fabric import (
     FabricParams,
     FaninResult,
     IDEAL_FABRIC,
+    LeafSpineParams,
     Link,
     SwitchPort,
     Topology,
+    fluid_shared_Bps,
     synchronized_fanin,
 )
 from repro.net.incast import (
@@ -25,11 +27,13 @@ __all__ = [
     "IDEAL_FABRIC",
     "IncastConfig",
     "IncastResult",
+    "LeafSpineParams",
     "Link",
     "ONE_GE",
     "SwitchPort",
     "TEN_GE",
     "Topology",
+    "fluid_shared_Bps",
     "simulate_incast",
     "sweep_senders",
     "synchronized_fanin",

@@ -20,7 +20,14 @@ module is the one place the reproduction models that network:
 * :class:`Topology` — client NICs → switch → server NICs, driven as
   :class:`repro.sim.Simulator` processes.  Used by
   :class:`repro.pfs.SimPFS` for every client→server request and
-  server→client reply;
+  server→client reply, by :mod:`repro.dfs` for remote shuffle reads,
+  and by :mod:`repro.pnfs` for NFS/pNFS writes;
+* :class:`LeafSpineParams` — the two-tier topology option: clients and
+  servers live in racks behind leaf switches joined by spine uplinks
+  with a configurable oversubscription ratio.  Cross-rack flows then
+  traverse a *path* of :class:`SwitchPort` hops (source leaf uplink →
+  destination leaf downlink → destination edge port), each with its own
+  finite buffer, drops, RTOs, blackouts, and tenant attribution;
 * :func:`synchronized_fanin` — the round-based engine behind the
   incast reproduction (one round = one RTT), now a fabric primitive so
   ``repro.net.incast`` is a thin configuration of it.
@@ -76,6 +83,64 @@ class Link:
         return self.latency_s + nbytes / self.bandwidth_Bps
 
 
+def fluid_shared_Bps(edge_Bps: float, aggregate_Bps: float, n_sharers: int) -> float:
+    """Effective per-flow bandwidth on an edge link behind a shared aggregate.
+
+    The fluid model every inline ``min(nic, backplane/share)`` expression
+    used to spell by hand: a flow gets its edge rate until ``n_sharers``
+    concurrent flows oversubscribe the aggregate (a backplane, a spine
+    uplink), at which point the aggregate is divided fairly.
+
+    >>> fluid_shared_Bps(112e6, 640e6, 4)
+    112000000.0
+    >>> fluid_shared_Bps(112e6, 640e6, 8)
+    80000000.0
+    """
+    return min(edge_Bps, aggregate_Bps / max(1, n_sharers))
+
+
+@dataclass(frozen=True)
+class LeafSpineParams:
+    """Two-tier leaf/spine shape for :class:`Topology`.
+
+    Endpoints live in racks behind leaf switches; leaves join through
+    spine uplinks whose bandwidth is derived from the rack's aggregate
+    edge bandwidth divided by ``oversubscription``.  Same-rack traffic
+    only crosses the destination edge port (exactly the flat topology);
+    cross-rack traffic additionally crosses the source leaf's uplink and
+    the destination leaf's downlink.
+
+    Attributes
+    ----------
+    n_racks: number of racks (leaf switches).  Servers are assigned to
+        racks in contiguous blocks (``rack = server * n_racks //
+        n_servers``); clients round-robin across racks (``rack = client
+        % n_racks``) unless ``clients_per_rack`` pins them in blocks.
+    oversubscription: ratio of a rack's aggregate edge bandwidth to its
+        spine uplink bandwidth (default 1.0 — non-blocking).  The
+        canonical congested fabric is 4:1 (``oversubscription=4.0``).
+    clients_per_rack: when set, client ``c`` lives in rack
+        ``(c // clients_per_rack) % n_racks`` — contiguous client
+        blocks, matching how rack-aware workloads number their ranks.
+    """
+
+    n_racks: int = 2
+    oversubscription: float = 1.0
+    clients_per_rack: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_racks < 1:
+            raise ValueError(f"n_racks must be >= 1, got {self.n_racks}")
+        if self.oversubscription < 1.0:
+            raise ValueError(
+                f"oversubscription must be >= 1.0, got {self.oversubscription}"
+            )
+        if self.clients_per_rack is not None and self.clients_per_rack < 1:
+            raise ValueError(
+                f"clients_per_rack must be >= 1 (or None), got {self.clients_per_rack}"
+            )
+
+
 @dataclass(frozen=True)
 class FabricParams:
     """Congestion knobs shared by every fabric consumer.
@@ -101,6 +166,8 @@ class FabricParams:
     init_cwnd: initial congestion window, in packets (default 2).
     max_cwnd: congestion-window growth cap, in packets (default 64).
     seed: seed for drop sampling and RTO jitter (default 42).
+    leafspine: optional :class:`LeafSpineParams`; ``None`` (the
+        default) keeps the flat single-switch topology.
     """
 
     name: str = "ideal"
@@ -112,6 +179,7 @@ class FabricParams:
     init_cwnd: int = 2
     max_cwnd: int = 64
     seed: int = 42                       # drop sampling + RTO jitter
+    leafspine: Optional[LeafSpineParams] = None
 
     def __post_init__(self) -> None:
         if self.buffer_pkts is not None and self.buffer_pkts < 1:
@@ -343,6 +411,16 @@ class FabricFeedback:
     ``now_fn`` supplies the sampling clock (typically ``lambda:
     sim.now``); without one every :meth:`costs` call advances an
     internal tick by one interval, i.e. refreshes unconditionally.
+
+    **Hierarchy.**  On a leaf/spine fabric a flow into server ``s``
+    also crosses the rack's spine downlink, so ``uplink_names`` maps
+    each server to the extra hop's port label (e.g. ``"leaf1.down"``,
+    from :meth:`Topology.uplink_name_for_server`).  Each distinct hop
+    port gets its own EWMA from the same per-port metrics, and
+    :meth:`costs` reports ``edge + hop`` per server — congestion on an
+    oversubscribed uplink surfaces on *every* server behind it, which
+    is exactly what rack-aware placement needs to steer around a hot
+    rack.  The per-edge-port metric label sets are untouched.
     """
 
     #: refresh steps folded per call are capped: past this many elapsed
@@ -361,6 +439,7 @@ class FabricFeedback:
         buffer_norm: float = 64.0,
         stale_after_s: float = 5e-3,
         port_prefix: str = "server",
+        uplink_names: Optional[list[Optional[str]]] = None,
     ) -> None:
         if n_servers < 1:
             raise ValueError("need at least one server port")
@@ -368,6 +447,11 @@ class FabricFeedback:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
         if interval_s <= 0 or stale_after_s <= 0:
             raise ValueError("interval_s and stale_after_s must be > 0")
+        if uplink_names is not None and len(uplink_names) != n_servers:
+            raise ValueError(
+                f"uplink_names must have one entry per server "
+                f"({n_servers}), got {len(uplink_names)}"
+            )
         self.metrics = metrics
         self.n_servers = n_servers
         self.now_fn = now_fn
@@ -377,16 +461,25 @@ class FabricFeedback:
         self.buffer_norm = max(1.0, buffer_norm)
         self.stale_after_s = stale_after_s
         self.port_prefix = port_prefix
+        self.uplink_names = uplink_names
         self._ewma = [0.0] * n_servers
         self._last_t: Optional[float] = None
         self._tick = 0.0                      # internal clock when now_fn is None
         self._last_sig: list[Optional[tuple]] = [None] * n_servers
         self._sig_changed_t = [0.0] * n_servers
         self.stale = [False] * n_servers
+        # one EWMA per *distinct* hop port, shared by the servers behind it
+        self._hops: list[str] = sorted(
+            {u for u in (uplink_names or []) if u is not None}
+        )
+        self._hop_ewma = {u: 0.0 for u in self._hops}
+        self._hop_last_sig: dict[str, Optional[tuple]] = {u: None for u in self._hops}
 
     def _signature(self, server: int) -> tuple:
+        return self._port_signature(f"{self.port_prefix}{server}")
+
+    def _port_signature(self, port: str) -> tuple:
         m = self.metrics
-        port = f"{self.port_prefix}{server}"
         return (
             m.gauge("net.fabric.occupancy_pkts", port=port).value,
             m.counter("net.fabric.drops_pkts", port=port).value,
@@ -408,6 +501,10 @@ class FabricFeedback:
                 self._last_sig[s] = sig
                 self._sig_changed_t[s] = now
                 self._ewma[s] = self._instant(s, sig, drops_delta=0.0)
+            for u in self._hops:
+                sig = self._port_signature(u)
+                self._hop_last_sig[u] = sig
+                self._hop_ewma[u] = self._instant_from(sig, drops_delta=0.0)
             return
         elapsed = now - self._last_t
         if elapsed < self.interval_s:
@@ -424,20 +521,44 @@ class FabricFeedback:
             instant = 0.0 if self.stale[s] else self._instant(s, sig, drops_delta)
             self._ewma[s] = instant + (self._ewma[s] - instant) * decay
             self._last_sig[s] = sig
+        for u in self._hops:
+            sig = self._port_signature(u)
+            prev = self._hop_last_sig[u]
+            drops_delta = sig[1] - prev[1] if prev is not None else 0.0
+            instant = self._instant_from(sig, drops_delta)
+            self._hop_ewma[u] = instant + (self._hop_ewma[u] - instant) * decay
+            self._hop_last_sig[u] = sig
         self._last_t = now
 
     def _instant(self, server: int, sig: tuple, drops_delta: float) -> float:
+        return self._instant_from(sig, drops_delta)
+
+    def _instant_from(self, sig: tuple, drops_delta: float) -> float:
         occupancy = sig[0]
         return occupancy / self.buffer_norm + self.drop_weight * max(0.0, drops_delta)
 
+    def hop_costs(self) -> dict[str, float]:
+        """Current per-hop (uplink/downlink) EWMA costs, by port label."""
+        return dict(self._hop_ewma)
+
     def costs(self, now: Optional[float] = None) -> list[float]:
-        """Current per-server congestion costs (refreshing first)."""
+        """Current per-server congestion costs (refreshing first).
+
+        With ``uplink_names`` each server's cost is its edge-port EWMA
+        *plus* its rack hop's EWMA, so uplink congestion is charged to
+        every server behind that uplink.
+        """
         if self.metrics is None:
             return [0.0] * self.n_servers
         if now is None and self.now_fn is None:
             self._tick += self.interval_s
         self.refresh(now)
-        return list(self._ewma)
+        if self.uplink_names is None:
+            return list(self._ewma)
+        return [
+            e + (self._hop_ewma[u] if u is not None else 0.0)
+            for e, u in zip(self._ewma, self.uplink_names)
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{c:.3f}" for c in self._ewma)
@@ -496,10 +617,69 @@ class Topology:
         self.rng = np.random.default_rng(fabric.seed)
         self._client_nics: dict[int, Resource] = {}
         self._client_ports: dict[int, SwitchPort] = {}
+        self._named_ports: dict[str, SwitchPort] = {}
+        self.n_servers = n_servers
         self.server_ports = [
             SwitchPort(server_link, fabric, sim=sim, obs=self.obs, name=f"server{i}")
             for i in range(n_servers)
         ]
+        self.leafspine = fabric.leafspine
+        self.leaf_up: list[SwitchPort] = []
+        self.leaf_down: list[SwitchPort] = []
+        self._racks_down: set[int] = set()
+        if self.leafspine is not None:
+            ls = self.leafspine
+            per_rack_edges = max(1, -(-n_servers // ls.n_racks))  # ceil
+            uplink = Link(
+                bandwidth_Bps=per_rack_edges * server_link.bandwidth_Bps
+                / ls.oversubscription,
+                latency_s=server_link.latency_s,
+            )
+            for r in range(ls.n_racks):
+                self.leaf_up.append(SwitchPort(
+                    uplink, fabric, sim=sim, obs=self.obs, name=f"leaf{r}.up"
+                ))
+                self.leaf_down.append(SwitchPort(
+                    uplink, fabric, sim=sim, obs=self.obs, name=f"leaf{r}.down"
+                ))
+
+    # -- rack geometry (leaf/spine only; flat answers are degenerate) --
+    @property
+    def n_racks(self) -> int:
+        """Rack count; 1 under the flat topology."""
+        return self.leafspine.n_racks if self.leafspine is not None else 1
+
+    def server_rack(self, server: int) -> int:
+        """Rack of a server: contiguous blocks (0 under flat)."""
+        if self.leafspine is None:
+            return 0
+        return server * self.leafspine.n_racks // max(1, self.n_servers)
+
+    def client_rack(self, client: int) -> int:
+        """Rack of a client: round-robin, or blocks of ``clients_per_rack``."""
+        if self.leafspine is None:
+            return 0
+        ls = self.leafspine
+        if ls.clients_per_rack is not None:
+            return (client // ls.clients_per_rack) % ls.n_racks
+        return client % ls.n_racks
+
+    def client_for_rack(self, rack: int, k: int = 0) -> int:
+        """The ``k``-th client id living in ``rack`` (inverse of
+        :meth:`client_rack`); identity-ish under flat (returns ``k``)."""
+        if self.leafspine is None:
+            return k
+        ls = self.leafspine
+        if ls.clients_per_rack is not None:
+            return (rack % ls.n_racks) * ls.clients_per_rack + k
+        return (rack % ls.n_racks) + k * ls.n_racks
+
+    def uplink_name_for_server(self, server: int) -> Optional[str]:
+        """The rack-downlink port label a flow into ``server`` crosses
+        when it originates outside the rack; ``None`` under flat."""
+        if self.leafspine is None:
+            return None
+        return f"leaf{self.server_rack(server)}.down"
 
     # -- endpoints -----------------------------------------------------
     def client_nic(self, client: int) -> Resource:
@@ -516,7 +696,19 @@ class Topology:
                 self.client_link, self.fabric, sim=self.sim, obs=self.obs,
                 name=f"client{client}",
             )
+            if self.client_rack(client) in self._racks_down:
+                port.set_down(True)
             self._client_ports[client] = port
+        return port
+
+    def named_port(self, name: str, link: Link) -> SwitchPort:
+        """A memoized extra port (e.g. an NFS server's single nfsd funnel)."""
+        port = self._named_ports.get(name)
+        if port is None:
+            port = SwitchPort(
+                link, self.fabric, sim=self.sim, obs=self.obs, name=name
+            )
+            self._named_ports[name] = port
         return port
 
     # -- fault injection ----------------------------------------------
@@ -529,8 +721,37 @@ class Topology:
         switch ports, so a blackout records the transition (metrics)
         but costs nothing — crash the server itself to model
         unreachability there.
+
+        The hierarchy-aware sibling is :meth:`set_leaf_down`, which
+        takes a whole rack's leaf switch (uplink, downlink, and every
+        edge port behind it) down in one transition.
         """
         self.server_ports[server].set_down(down)
+
+    def set_leaf_down(self, rack: int, down: bool) -> None:
+        """Blackout/restore a whole leaf switch (fault injection).
+
+        Downs the rack's spine uplink and downlink plus every edge port
+        behind the leaf — all the rack's server ports and any client
+        ports (including ones lazily created while the leaf is down).
+        Requires a leaf/spine topology.
+        """
+        if self.leafspine is None:
+            raise ValueError("set_leaf_down requires a leaf/spine topology")
+        if not 0 <= rack < self.leafspine.n_racks:
+            raise ValueError(f"rack {rack} out of range [0, {self.leafspine.n_racks})")
+        if down:
+            self._racks_down.add(rack)
+        else:
+            self._racks_down.discard(rack)
+        self.leaf_up[rack].set_down(down)
+        self.leaf_down[rack].set_down(down)
+        for s in range(self.n_servers):
+            if self.server_rack(s) == rack:
+                self.server_ports[s].set_down(down)
+        for c, port in self._client_ports.items():
+            if self.client_rack(c) == rack:
+                port.set_down(down)
 
     # -- ideal-path arithmetic ----------------------------------------
     def request_cost_s(self, nbytes: int) -> float:
@@ -545,27 +766,66 @@ class Topology:
         yield Timeout(self.client_link.transfer_s(nbytes))
         nic.release(grant)
 
-    def to_server(self, server: int, nbytes: int, parent_span=None, cwnd_cap=None, ctx=None):
-        """Move a request payload through the server's switch output port."""
-        yield from self._windowed(
-            self.server_ports[server], nbytes, parent_span, cwnd_cap, ctx
+    def _route(self, dst_port: SwitchPort, dst_rack: int, src_rack: Optional[int]) -> list[SwitchPort]:
+        """Hops a flow crosses to reach ``dst_port``.
+
+        Flat topology, unknown source, or same-rack: just the
+        destination edge port (exactly the historical single-hop path).
+        Cross-rack: source leaf uplink → destination leaf downlink →
+        destination edge port.
+        """
+        if self.leafspine is None or src_rack is None or src_rack == dst_rack:
+            return [dst_port]
+        return [self.leaf_up[src_rack], self.leaf_down[dst_rack], dst_port]
+
+    def to_server(
+        self, server: int, nbytes: int, parent_span=None, cwnd_cap=None, ctx=None,
+        src_client: Optional[int] = None,
+    ):
+        """Move a request payload through the server's switch output port.
+
+        ``src_client`` names the originating client so leaf/spine
+        fabrics can route cross-rack flows over the spine; omitted (or
+        under a flat topology) the flow crosses only the destination
+        edge port — the historical behaviour, bit-identical.
+        """
+        src_rack = None if src_client is None else self.client_rack(src_client)
+        path = self._route(
+            self.server_ports[server], self.server_rack(server), src_rack
         )
+        yield from self._windowed(path, nbytes, parent_span, cwnd_cap, ctx)
 
-    def to_client(self, client: int, nbytes: int, parent_span=None, cwnd_cap=None, ctx=None):
-        """Move a reply through the client's switch output port (incast path)."""
-        yield from self._windowed(
-            self.client_port(client), nbytes, parent_span, cwnd_cap, ctx
-        )
+    def to_client(
+        self, client: int, nbytes: int, parent_span=None, cwnd_cap=None, ctx=None,
+        src_server: Optional[int] = None,
+    ):
+        """Move a reply through the client's switch output port (incast path).
 
-    def _windowed(self, port: SwitchPort, nbytes: int, parent_span=None, cwnd_cap=None, ctx=None):
-        """One flow's windowed injection through a finite output buffer.
+        ``src_server`` names the replying server for leaf/spine routing,
+        same contract as :meth:`to_server`'s ``src_client``.
+        """
+        src_rack = None if src_server is None else self.server_rack(src_server)
+        path = self._route(self.client_port(client), self.client_rack(client), src_rack)
+        yield from self._windowed(path, nbytes, parent_span, cwnd_cap, ctx)
 
-        Each round: inject up to ``cwnd`` packets.  Whatever fits in the
-        buffer is admitted and drained by the port link (a shared
-        capacity-1 resource); overflow is tail-dropped.  Partial loss
-        halves the window (fast retransmit); a *full*-window loss has
-        nothing in flight to trigger it, so the flow sits out a (min-)
-        RTO.  An RTT elapses per round for the acknowledgement.
+    def to_port(self, port: SwitchPort, nbytes: int, parent_span=None, cwnd_cap=None, ctx=None):
+        """Move a payload through one explicit port (e.g. a named funnel)."""
+        yield from self._windowed([port], nbytes, parent_span, cwnd_cap, ctx)
+
+    def _windowed(self, path: list[SwitchPort], nbytes: int, parent_span=None, cwnd_cap=None, ctx=None):
+        """One flow's windowed injection through a *path* of finite buffers.
+
+        Each round: inject up to ``cwnd`` packets.  Admission is gated
+        by the tightest hop on the path (``min`` of every hop's free
+        buffer); what fits is admitted at **every** hop in order and
+        drained by each hop's link (a shared capacity-1 resource);
+        overflow is tail-dropped, attributed to the bottleneck hop.
+        Partial loss halves the window (fast retransmit); a
+        *full*-window loss has nothing in flight to trigger it, so the
+        flow sits out a (min-)RTO.  One RTT elapses per round for the
+        acknowledgement regardless of hop count (the hops pipeline).
+        A single-element path is operation-for-operation the historical
+        single-port behaviour — goldens pin it bit-identical.
 
         ``cwnd_cap`` (packets) clamps window growth below the fabric's
         ``max_cwnd`` — application-level pacing.  A cooperating fan-in
@@ -588,7 +848,7 @@ class Topology:
             attrs = ctx.span_attrs() if ctx is not None else {}
             span = self.obs.tracer.start(
                 "fabric.xfer", parent=parent_span, at=self.sim.now,
-                port=port.name, nbytes=nbytes, **attrs,
+                port=path[-1].name, nbytes=nbytes, hops=len(path), **attrs,
             )
             if ctx is not None:
                 m = self.obs.metrics
@@ -600,11 +860,19 @@ class Topology:
         done = 0
         while done < total:
             want = min(cwnd, total - done)
-            admit = min(want, port.free_pkts())
+            # admission is gated by the tightest hop; ties go to the
+            # earliest hop so drop attribution is deterministic
+            bottleneck = path[0]
+            free = bottleneck.free_pkts()
+            for p in path[1:]:
+                f = p.free_pkts()
+                if f < free:
+                    free, bottleneck = f, p
+            admit = min(want, free)
             if admit <= 0:
                 # full-window loss: no ack, no dup-acks — wait out the RTO
-                port.record_drops(want)
-                port.record_timeouts(1)
+                bottleneck.record_drops(want)
+                bottleneck.record_timeouts(1)
                 if ctx is not None:
                     ctx.drops_pkts += want
                     ctx.rtos += 1
@@ -616,8 +884,8 @@ class Topology:
                 continue
             if admit < want:
                 # partial loss: triple-dup-ack fast retransmit, window halves
-                port.record_drops(want - admit)
-                port.record_retransmit(1)
+                bottleneck.record_drops(want - admit)
+                bottleneck.record_retransmit(1)
                 if ctx is not None:
                     ctx.drops_pkts += want - admit
                     if t_drops is not None:
@@ -625,14 +893,16 @@ class Topology:
                 cwnd = max(1, cwnd // 2)
             else:
                 cwnd = min(cwnd + 1, max_w)
-            port.admit(admit)
-            grant = yield Acquire(port.res)
-            yield Timeout(admit * port.pkt_time_s)
-            port.res.release(grant)
-            port.drain(admit)
+            for p in path:
+                p.admit(admit)
+                grant = yield Acquire(p.res)
+                yield Timeout(admit * p.pkt_time_s)
+                p.res.release(grant)
+                p.drain(admit)
             done += admit
             yield Timeout(fab.rtt_s)  # the round's acknowledgement
-        port.record_bytes(nbytes)
+        for p in path:
+            p.record_bytes(nbytes)
         if span is not None:
             span.finish(at=self.sim.now)
 

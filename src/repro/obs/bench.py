@@ -173,6 +173,42 @@ def _bench_x17_collective() -> dict:
     return {"sim_makespan_s": r.makespan_s, "shuffle_rtos": r.shuffle_rtos}
 
 
+def _bench_dfs_grep() -> dict:
+    """Fig-12 grep shuffle routed through a finite leaf/spine fabric."""
+    from repro.dfs import ClusterSpec, GrepJob, PVFSShimBackend, run_grep
+    from repro.net.fabric import FabricParams, LeafSpineParams
+
+    fabric = FabricParams(
+        name="1GE-64pkt-ls", buffer_pkts=64, min_rto_s=1e-3, seed=5,
+        leafspine=LeafSpineParams(n_racks=2, oversubscription=4.0),
+    )
+    spec = ClusterSpec(n_nodes=16, chunk_bytes=4 << 20, fabric=fabric)
+    r = run_grep(
+        GrepJob(n_chunks=64, cpu_s_per_chunk=0.01),
+        PVFSShimBackend(spec, readahead_bytes=4 << 20),
+    )
+    return {"sim_makespan_s": r.makespan_s, "remote_tasks": r.remote_tasks}
+
+
+def _bench_pnfs_write() -> dict:
+    """X12-style NFS-vs-pNFS client scaling over the routed fabric."""
+    from repro.net.fabric import FabricParams
+    from repro.pnfs.server import NFSParams, run_scaling_experiment
+
+    params = NFSParams(
+        fabric=FabricParams(name="1GE-64pkt", buffer_pkts=64, min_rto_s=1e-3, seed=9)
+    )
+    nbytes = 4 << 20
+    rows = run_scaling_experiment([1, 4, 8], nbytes_per_client=nbytes, params=params)
+    # rows report MB/s; fold both protocols' elapsed times back out
+    makespan = sum(
+        r["clients"] * nbytes / 1e6 / r[f"{proto}_MBps"]
+        for r in rows
+        for proto in ("nfs", "pnfs")
+    )
+    return {"sim_makespan_s": makespan, "pnfs_MBps_at_8": rows[-1]["pnfs_MBps"]}
+
+
 #: name -> scenario callable; ordered, pinned — additions append only so
 #: baselines stay comparable benchmark-by-benchmark.
 BENCHMARKS: dict[str, Callable[[], dict]] = {
@@ -182,6 +218,8 @@ BENCHMARKS: dict[str, Callable[[], dict]] = {
     "x15_placement": _bench_x15_placement,
     "x16_faulted": _bench_x16_faulted,
     "x17_collective": _bench_x17_collective,
+    "dfs_grep": _bench_dfs_grep,
+    "pnfs_write": _bench_pnfs_write,
 }
 
 

@@ -45,7 +45,14 @@ class PFSParams:
         (infinite switch buffers, no contention) reproduces plain
         latency+bandwidth arithmetic; a finite ``buffer_pkts`` routes every
         request/reply through shared switch output ports with incast-style
-        drop/timeout/window dynamics.
+        drop/timeout/window dynamics.  Setting ``fabric.leafspine``
+        (:class:`repro.net.fabric.LeafSpineParams`) additionally places
+        clients and servers in racks behind leaf switches joined by
+        oversubscribed spine uplinks, so cross-rack requests traverse a
+        multi-hop path of finite-buffer ports (docs/network.md) — the
+        congestion-aware placement and fabric-aware collective schemes
+        then account for uplink contention when choosing servers and
+        aggregators.
     placement: stripe/server selection policy for new data.  ``None``
         (default) keeps the historical shifted round-robin
         :class:`~repro.pfs.layout.StripeLayout` — bit-identical with

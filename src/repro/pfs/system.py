@@ -217,9 +217,12 @@ class _StorageServer:
                     disk_s += self.disk.access(off, ext.length, write=req.write) * self.slowdown
                 if req.write:
                     # request payload converges on this server's switch port
+                    # (src_client routes cross-rack flows over the spine on
+                    # a leaf/spine fabric; a no-op under the flat topology)
                     yield Timeout(p.rpc_latency_s)
                     yield from fab.to_server(
-                        self.index, req.nbytes, parent_span=span, ctx=req.ctx
+                        self.index, req.nbytes, parent_span=span, ctx=req.ctx,
+                        src_client=req.client,
                     )
                     yield Timeout(disk_s)
                 else:
@@ -227,7 +230,8 @@ class _StorageServer:
                     # port — the incast path
                     yield Timeout(p.rpc_latency_s + disk_s)
                     yield from fab.to_client(
-                        req.client, req.nbytes, parent_span=span, ctx=req.ctx
+                        req.client, req.nbytes, parent_span=span, ctx=req.ctx,
+                        src_server=self.index,
                     )
             # record once, after service completes, from one source of truth
             elapsed = self.sim.now - t0

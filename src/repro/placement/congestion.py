@@ -162,11 +162,22 @@ def build_placement(
         feedback = None
         if metrics is not None:
             buffer_pkts = getattr(fabric, "buffer_pkts", None)
+            # on a leaf/spine fabric each server's cost also includes its
+            # rack downlink, so a hot oversubscribed uplink steers new
+            # stripes toward other racks (not just other edge ports)
+            uplink_names = None
+            leafspine = getattr(fabric, "leafspine", None)
+            if leafspine is not None:
+                uplink_names = [
+                    f"leaf{s * leafspine.n_racks // n_servers}.down"
+                    for s in range(n_servers)
+                ]
             feedback = FabricFeedback(
                 metrics,
                 n_servers,
                 now_fn=now_fn,
                 buffer_norm=float(buffer_pkts) if buffer_pkts else 64.0,
+                uplink_names=uplink_names,
                 **feedback_knobs,
             )
         return CongestionAwarePlacement(base, feedback=feedback)

@@ -5,12 +5,23 @@ its backend).  pNFS: the MDS only grants layouts (cheap); data flows
 straight to the striped data servers.  The experiment the IETF pitch
 rests on: aggregate client bandwidth vs client count saturates at one
 server's NIC for NFS but scales with data servers for pNFS.
+
+All network costs are priced by the shared fabric
+(:class:`repro.net.fabric.Topology`): the NFS server's NIC is one named
+switch port (the funnel), each data server is an edge port.  Under the
+ideal fabric every transfer is ``rpc + serialization`` through the
+port's capacity-1 link resource — bit-identical with the historical
+inline arithmetic (the equivalence goldens pin it).  With finite
+buffers (and optionally a leaf/spine shape) the writes become real
+windowed flows with congestion, drops, RTOs, blackouts, and per-request
+damage attribution.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.net.fabric import FabricParams, IDEAL_FABRIC, Link, Topology
 from repro.pfs.layout import StripeLayout
 from repro.pnfs.protocol import LayoutKind, LayoutManager
 from repro.sim import Acquire, Resource, Simulator, Timeout
@@ -25,6 +36,7 @@ class NFSParams:
     backend_Bps: float = 400e6           # NFS server's storage backend
     rpc_s: float = 200e-6
     mds_op_s: float = 0.5e-3
+    fabric: FabricParams = field(default=IDEAL_FABRIC)
 
 
 class NFSCluster:
@@ -33,15 +45,22 @@ class NFSCluster:
     def __init__(self, sim: Simulator, params: NFSParams = NFSParams()) -> None:
         self.sim = sim
         self.params = params
-        # plain-NFS funnel: one NIC + one backend
-        self.nfs_nic = Resource(sim, capacity=1, name="nfsd.nic")
+        server_link = Link(params.server_nic_Bps)
+        self.topology = Topology(
+            sim,
+            n_servers=params.n_data_servers,
+            client_link=Link(params.client_nic_Bps),
+            server_link=server_link,
+            rpc_latency_s=params.rpc_s,
+            fabric=params.fabric,
+            name="pnfs",
+        )
+        # plain-NFS funnel: one switch port (the server NIC) + one backend
+        self.nfs_port = self.topology.named_port("nfsd", server_link)
+        self.backend_link = Link(params.backend_Bps)
         self.nfs_backend = Resource(sim, capacity=1, name="nfsd.backend")
-        # pNFS: MDS for layouts, per-data-server NICs
+        # pNFS: MDS for layouts; data flows hit the topology's edge ports
         self.mds = Resource(sim, capacity=1, name="pnfs.mds")
-        self.data_nics = [
-            Resource(sim, capacity=1, name=f"ds{i}.nic")
-            for i in range(params.n_data_servers)
-        ]
         self.layouts = LayoutManager(
             StripeLayout(params.n_data_servers, params.stripe_unit)
         )
@@ -70,7 +89,7 @@ class NFSCluster:
 
         def backend_stage(take: int, done):
             grant = yield Acquire(self.nfs_backend)
-            yield Timeout(take / p.backend_Bps)
+            yield Timeout(self.backend_link.transfer_s(take))
             self.nfs_backend.release(grant)
             done.succeed()
 
@@ -78,9 +97,15 @@ class NFSCluster:
         pos = 0
         while pos < nbytes:
             take = min(chunk, nbytes - pos)
-            grant = yield Acquire(self.nfs_nic)
-            yield Timeout(p.rpc_s + take / p.server_nic_Bps)
-            self.nfs_nic.release(grant)
+            if p.fabric.ideal:
+                grant = yield Acquire(self.nfs_port.res)
+                yield Timeout(self.topology.request_cost_s(take))
+                self.nfs_port.res.release(grant)
+            else:
+                yield Timeout(p.rpc_s)
+                yield from self.topology.to_port(
+                    self.nfs_port, take, parent_span=span, ctx=ctx
+                )
             done = self.sim.event("nfs.commit")
             self.sim.spawn(backend_stage(take, done))
             pending.append(done)
@@ -108,10 +133,17 @@ class NFSCluster:
             take = min(chunk, nbytes - pos)
             self.layouts.check_io(layout, pos, take, write=True)
             for ext in layout.stripe.extents(pos, take, shift=layout.shift):
-                nic = self.data_nics[ext.server]
-                g = yield Acquire(nic)
-                yield Timeout(p.rpc_s + ext.length / p.server_nic_Bps)
-                nic.release(g)
+                if p.fabric.ideal:
+                    port = self.topology.server_ports[ext.server]
+                    g = yield Acquire(port.res)
+                    yield Timeout(self.topology.request_cost_s(ext.length))
+                    port.res.release(g)
+                else:
+                    yield Timeout(p.rpc_s)
+                    yield from self.topology.to_server(
+                        ext.server, ext.length,
+                        parent_span=span, ctx=ctx, src_client=client,
+                    )
             pos += take
         if LayoutManager.commit_required(kind, extended_file=True):
             grant = yield Acquire(self.mds)

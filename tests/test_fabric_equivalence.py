@@ -124,3 +124,116 @@ def test_finite_buffers_change_the_answer():
         fabric=FabricParams(name="1GE-8pkt", buffer_pkts=8, seed=3),
     )
     assert congested.makespan_s > GOLDEN_MAKESPANS[("generic", "n1-strided", "direct")]
+
+
+# -- dfs grep: inline NIC math -> routed through the fabric ---------------
+#
+# Captured from the tree immediately before repro.dfs lost its inline
+# ``min(net_Bps, backplane_Bps/share)`` arithmetic, for the Fig 12 sweep:
+# (makespan_s, local_tasks, remote_tasks) per backend configuration.
+
+DFS_SPEC_KW = dict(n_nodes=16, chunk_bytes=16 << 20)
+DFS_JOB_KW = dict(n_chunks=64, cpu_s_per_chunk=0.05)
+
+GOLDEN_GREP = {
+    "hdfs": (1.0428608, 64, 0),
+    "naive-shim": (2.4822912, 16, 48),
+    "tuned-shim": (1.4742912, 16, 48),
+    "layout-shim": (1.0548608, 64, 0),
+}
+
+#: pre-refactor read_time() unit values (same 16-node, 16 MiB-chunk spec):
+#: hdfs remote with 7 concurrent readers is disk-bound (== the local cost),
+#: with 16 it is backplane-bound; the 64 KiB shim pays per-buffer RPCs.
+GOLDEN_READ_TIME = {
+    ("hdfs", 7): 0.2107152,
+    ("hdfs", 16): 0.4204304,
+    ("naive-shim", 9): 0.4919296,
+}
+
+
+def _dfs_backend(label: str):
+    from repro.dfs import ClusterSpec, HDFSBackend, PVFSShimBackend
+
+    spec = ClusterSpec(**DFS_SPEC_KW)
+    return {
+        "hdfs": lambda: HDFSBackend(spec),
+        "naive-shim": lambda: PVFSShimBackend(spec, readahead_bytes=64 * 1024),
+        "tuned-shim": lambda: PVFSShimBackend(spec, readahead_bytes=4 << 20),
+        "layout-shim": lambda: PVFSShimBackend(
+            spec, readahead_bytes=4 << 20, expose_layout=True
+        ),
+    }[label]()
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN_GREP))
+def test_routed_dfs_grep_matches_pre_refactor_golden(label):
+    """run_grep now rides the shared Topology; under the ideal fabric the
+    (makespan, locality) triple must equal the inline-math capture ==."""
+    from repro.dfs import GrepJob, run_grep
+
+    res = run_grep(GrepJob(**DFS_JOB_KW), _dfs_backend(label))
+    gold = GOLDEN_GREP[label]
+    assert res.makespan_s == gold[0]
+    assert (res.local_tasks, res.remote_tasks) == (gold[1], gold[2])
+
+
+def test_dfs_read_time_unit_goldens():
+    """The per-read cost formulas themselves, pinned where each regime
+    binds: disk-bound remote, backplane-bound remote, per-buffer RPCs."""
+    hdfs = _dfs_backend("hdfs")
+    assert hdfs.read_time(5, 0, 7) == GOLDEN_READ_TIME[("hdfs", 7)]
+    assert hdfs.read_time(5, 0, 16) == GOLDEN_READ_TIME[("hdfs", 16)]
+    assert hdfs.replicas_of(5) == [5, 11, 1]
+    naive = _dfs_backend("naive-shim")
+    assert naive.read_time(5, 0, 9) == GOLDEN_READ_TIME[("naive-shim", 9)]
+
+
+def test_finite_fabric_dfs_grep_changes_the_answer():
+    """With finite buffers the remote shuffle reads are real windowed
+    flows: the rack-blind naive shim gets slower, locality counts stay."""
+    from repro.dfs import ClusterSpec, GrepJob, PVFSShimBackend, run_grep
+
+    spec = ClusterSpec(
+        **DFS_SPEC_KW,
+        fabric=FabricParams(name="finite", buffer_pkts=64, seed=7),
+    )
+    res = run_grep(
+        GrepJob(**DFS_JOB_KW), PVFSShimBackend(spec, readahead_bytes=4 << 20)
+    )
+    assert (res.local_tasks, res.remote_tasks) == (16, 48)
+    assert res.makespan_s != GOLDEN_GREP["tuned-shim"][0]
+
+
+# -- pnfs scaling: inline NIC math -> routed through the fabric -----------
+#
+# Captured from the pre-refactor run_scaling_experiment([1, 4, 8],
+# nbytes_per_client=16 MiB, NFSParams()): aggregate MB/s per protocol.
+
+GOLDEN_PNFS_SCALING = {
+    1: (107.81024539502441, 108.5928046484619),
+    4: (109.18975013209824, 422.0774284440994),
+    8: (109.42310719720649, 813.4576787742774),
+}
+
+
+def test_routed_pnfs_scaling_matches_pre_refactor_golden():
+    """NFS/pNFS writes now ride Topology ports; the ideal-fabric scaling
+    curve must equal the inline-math capture ==."""
+    from repro.pnfs.server import NFSParams, run_scaling_experiment
+
+    rows = run_scaling_experiment(
+        [1, 4, 8], nbytes_per_client=16 << 20, params=NFSParams()
+    )
+    for row in rows:
+        nfs_gold, pnfs_gold = GOLDEN_PNFS_SCALING[row["clients"]]
+        assert row["nfs_MBps"] == nfs_gold
+        assert row["pnfs_MBps"] == pnfs_gold
+
+
+def test_finite_fabric_pnfs_scaling_changes_the_answer():
+    from repro.pnfs.server import NFSParams, run_scaling_experiment
+
+    params = NFSParams(fabric=FabricParams(name="finite", buffer_pkts=64, seed=7))
+    rows = run_scaling_experiment([4], nbytes_per_client=4 << 20, params=params)
+    assert rows[0]["pnfs_MBps"] != GOLDEN_PNFS_SCALING[4][1]

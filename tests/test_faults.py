@@ -255,6 +255,61 @@ def test_injection_counts_into_registry():
     assert counters["faults.injected{kind=disk_slowdown}"] == 1.0
 
 
+def test_leaf_blackout_without_restore_rejected():
+    with pytest.raises(ValueError, match="leaf_restore"):
+        FaultSchedule([FaultEvent(1.0, "leaf_blackout", target=0)])
+
+
+def test_leaf_blackout_downs_whole_rack_and_restores():
+    from repro.net.fabric import FabricParams, LeafSpineParams
+
+    with obs_mod.use(obs_mod.Observability(name="rackdark")) as o:
+        sim, pfs = _pfs(
+            PFSParams(
+                fabric=FabricParams(
+                    name="finite", buffer_pkts=32, seed=1,
+                    leafspine=LeafSpineParams(n_racks=2, oversubscription=4.0),
+                )
+            )
+        )
+        topo = pfs.topology
+        # default PFSParams has 8 servers: rack 0 = servers 0-3, rack 1 = 4-7
+        FaultSchedule(
+            [
+                FaultEvent(0.1, "leaf_blackout", target=1),
+                FaultEvent(0.2, "leaf_restore", target=1),
+            ]
+        ).inject(sim, pfs)
+
+        def probe():
+            yield Timeout(0.15)
+            assert topo.leaf_up[1].down and topo.leaf_down[1].down
+            for s in range(4, 8):
+                assert topo.server_ports[s].down
+                assert topo.server_ports[s].free_pkts() == 0
+            for s in range(0, 4):
+                assert not topo.server_ports[s].down
+            # a client port lazily created while its rack is dark comes up down
+            assert topo.client_port(topo.client_for_rack(1, 0)).down
+            yield Timeout(0.1)
+            assert not topo.leaf_up[1].down
+            for s in range(4, 8):
+                assert not topo.server_ports[s].down
+
+        sim.spawn(probe())
+        sim.run()
+        counters = o.metrics.snapshot()["counters"]
+    assert counters["faults.injected{kind=leaf_blackout}"] == 1.0
+    assert counters["net.fabric.blackouts{port=leaf1.up}"] == 1.0
+    assert counters["net.fabric.blackouts{port=server4}"] == 1.0
+
+
+def test_set_leaf_down_requires_leafspine():
+    sim, pfs = _pfs()
+    with pytest.raises(ValueError, match="leaf/spine"):
+        pfs.topology.set_leaf_down(0, True)
+
+
 def test_port_blackout_reaches_fabric():
     from repro.net.fabric import FabricParams
 
