@@ -1,0 +1,97 @@
+"""X20 — sharded GIGA+ metadata service: scaling, redirects, failover.
+
+Beyond the report: the Fig-7 demo grown into a metadata *plane*
+(`repro.giga.service`): consistent-hash shard ownership over GIGA+
+partitions, client-cached shard maps corrected by the stale-bitmap hint
+trick, and membership/failover through the coordinator registry.  The
+acceptance criteria from the roadmap item: 8-server goodput ≥ 3× the
+1-server goodput, mean redirects per operation ≤ 2 once client maps are
+warm, and zero operations lost across a mid-storm server crash.
+"""
+
+from benchmarks.conftest import print_table
+from repro.faults import FaultEvent, FaultSchedule
+from repro.giga import ServiceParams, run_storm
+
+N_CLIENTS = 32
+FILES_PER_CLIENT = 100
+PARAMS = ServiceParams(split_threshold=64)
+
+
+def run_x20_scaling():
+    return [
+        run_storm(ns, N_CLIENTS, FILES_PER_CLIENT, params=PARAMS)
+        for ns in (1, 2, 4, 8)
+    ]
+
+
+def test_x20_storm_scaling(run_once):
+    results = run_once(run_x20_scaling)
+    base = results[0]
+    rows = [
+        [r.n_servers, round(r.creates_per_s), f"{r.creates_per_s / base.creates_per_s:.1f}x",
+         round(r.lookups_per_s), f"{r.lookups_per_s / base.lookups_per_s:.1f}x",
+         r.partitions, f"{r.mean_redirects_create:.3f}", f"{r.mean_redirects_lookup:.3f}"]
+        for r in results
+    ]
+    print_table(
+        "X20: metadata-service storm vs server count",
+        ["servers", "creates/s", "scaling", "lookups/s", "scaling",
+         "parts", "redir/create", "redir/lookup"],
+        rows,
+        widths=[9, 11, 9, 11, 9, 7, 14, 14],
+    )
+    total = N_CLIENTS * FILES_PER_CLIENT
+    assert all(r.creates == total for r in results)
+    assert all(r.found == r.lookups == total for r in results)
+    r8 = results[-1]
+    # near-linear create/lookup scaling: 8 servers ≥ 3× one server
+    assert r8.creates_per_s >= 3.0 * base.creates_per_s
+    assert r8.lookups_per_s >= 3.0 * base.lookups_per_s
+    # redirects stay bounded: ≤ 2 per op even cold, and the warm-map
+    # (lookup-phase) mean is far below one
+    assert all(r.mean_redirects_create <= 2.0 for r in results)
+    assert all(r.mean_redirects_lookup <= 2.0 for r in results)
+    # hot-shard splitting actually spread the namespace
+    assert r8.partitions > r8.n_servers
+    assert sum(1 for v in r8.shard_spread.values() if v) == 8
+
+
+def test_x20_crash_failover_loses_nothing(run_once):
+    """A server crash mid-storm: the coordinator fails its shards over to
+    ring successors, clients retry through the registry, and every
+    create and lookup still completes."""
+    faults = FaultSchedule(
+        [
+            FaultEvent(at_s=0.03, kind="server_crash", target=2),
+            FaultEvent(at_s=0.15, kind="server_recover", target=2),
+        ],
+        name="x20-crash",
+    )
+    r = run_once(
+        run_storm, 8, N_CLIENTS, FILES_PER_CLIENT,
+        params=PARAMS, faults=faults,
+    )
+    healthy = run_storm(8, N_CLIENTS, FILES_PER_CLIENT, params=PARAMS)
+    print_table(
+        "X20: mid-storm crash with failover (8 servers)",
+        ["run", "creates", "lookups", "found", "dead hops", "failovers",
+         "map ver", "creates/s"],
+        [
+            ["healthy", healthy.creates, healthy.lookups, healthy.found,
+             healthy.dead_hops, healthy.failovers, healthy.map_version,
+             round(healthy.creates_per_s)],
+            ["crashed", r.creates, r.lookups, r.found, r.dead_hops,
+             r.failovers, r.map_version, round(r.creates_per_s)],
+        ],
+        widths=[9, 9, 9, 8, 11, 11, 9, 11],
+    )
+    total = N_CLIENTS * FILES_PER_CLIENT
+    # zero operations lost: every create landed, every lookup found its file
+    assert r.creates == total
+    assert r.found == r.lookups == total
+    assert r.failovers == 1 and r.rejoins == 1
+    assert r.map_version == 2
+    assert r.dead_hops > 0                     # clients really hit the crash
+    # the crash costs throughput but not an order of magnitude
+    assert r.creates_per_s > 0.3 * healthy.creates_per_s

@@ -93,9 +93,17 @@ class GigaCluster:
         return True, server_idx
 
     def _split(self, partition: int):
-        """Split while holding the owning server; moves cost time."""
+        """Split while holding the owning server; moves cost time.
+
+        A split that cannot shed load — radix limit reached, or every
+        entry hashes to one side (0/1-entry directories included) — is
+        a counted no-op rather than an empty sibling.
+        """
         p = self.params
         bucket = self.entries[partition]
+        if not self.bitmap.useful_split(partition, bucket.values()):
+            self.counters.add("splits_skipped")
+            return
         r = self.bitmap.radix[partition]
         child = self.bitmap.split(partition)
         movers = [name for name, h in bucket.items() if (h >> r) & 1]

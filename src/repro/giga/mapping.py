@@ -68,6 +68,23 @@ class GigaBitmap:
         self.radix[child] = r + 1
         return child
 
+    def useful_split(self, partition: int, hashes: Iterable[int]) -> bool:
+        """Would splitting ``partition`` actually separate ``hashes``?
+
+        False when the radix limit is reached or when every entry would
+        stay on one side (including the 0- and 1-entry directories) —
+        splitting then mints an empty sibling without shedding any load,
+        so callers should treat it as a no-op instead of calling
+        :meth:`split`.  Raises KeyError if ``partition`` does not exist.
+        """
+        r = self.radix.get(partition)
+        if r is None:
+            raise KeyError(f"partition {partition} does not exist")
+        if r >= MAX_RADIX or (partition | (1 << r)) in self.radix:
+            return False
+        sides = {(h >> r) & 1 for h in hashes}
+        return len(sides) == 2
+
     def moves_on_split(self, partition: int, hashes: Iterable[int]) -> list[int]:
         """Which of ``hashes`` (entries of ``partition``) move to the child
         created by :meth:`split`, given its *current* radix."""

@@ -209,6 +209,36 @@ def _bench_pnfs_write() -> dict:
     return {"sim_makespan_s": makespan, "pnfs_MBps_at_8": rows[-1]["pnfs_MBps"]}
 
 
+def _bench_giga_storm() -> dict:
+    """X20: sharded metadata service riding out a mid-storm crash.
+
+    Create+lookup storm against 8 metadata servers with a server crash
+    and recovery mid-flight: exercises consistent-hash ownership, stale
+    map redirects, hot-shard splits, and coordinator failover.
+    """
+    from repro.faults import FaultEvent, FaultSchedule
+    from repro.giga.service import ServiceParams, run_storm
+
+    faults = FaultSchedule(
+        [
+            FaultEvent(at_s=0.02, kind="server_crash", target=2),
+            FaultEvent(at_s=0.08, kind="server_recover", target=2),
+        ],
+        name="bench-giga-storm",
+    )
+    r = run_storm(
+        8, 16, 40,
+        params=ServiceParams(split_threshold=32),
+        faults=faults,
+    )
+    return {
+        "sim_makespan_s": r.makespan_s,
+        "creates": r.creates,
+        "redirects": r.redirects_create + r.redirects_lookup,
+        "failovers": r.failovers,
+    }
+
+
 #: name -> scenario callable; ordered, pinned — additions append only so
 #: baselines stay comparable benchmark-by-benchmark.
 BENCHMARKS: dict[str, Callable[[], dict]] = {
@@ -220,6 +250,7 @@ BENCHMARKS: dict[str, Callable[[], dict]] = {
     "x17_collective": _bench_x17_collective,
     "dfs_grep": _bench_dfs_grep,
     "pnfs_write": _bench_pnfs_write,
+    "giga_storm": _bench_giga_storm,
 }
 
 

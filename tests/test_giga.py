@@ -101,6 +101,58 @@ def test_bitmap_invariants_under_random_splits(split_choices):
         assert b.partition_of(h) in b
 
 
+# ------------------------------------------- useful_split (no-op guard)
+def test_useful_split_rejects_one_sided_and_tiny_directories():
+    """Splitting a 0/1-entry or one-sided partition would mint an empty
+    sibling; useful_split flags those as no-ops."""
+    b = GigaBitmap()
+    assert b.useful_split(0, []) is False                  # empty dir
+    assert b.useful_split(0, [0b10]) is False              # single entry
+    assert b.useful_split(0, [0b10, 0b100]) is False       # all bit0-clear
+    assert b.useful_split(0, [0b1, 0b11]) is False         # all bit0-set
+    assert b.useful_split(0, [0b0, 0b1]) is True           # both sides
+
+
+def test_useful_split_rejects_at_radix_limit():
+    b = GigaBitmap()
+    p = 0
+    for _ in range(MAX_RADIX):
+        b.split(p)
+    # hashes on both sides of the (nonexistent) next bit: still a no-op
+    assert b.useful_split(0, [0, 1 << MAX_RADIX]) is False
+
+
+def test_useful_split_missing_partition_raises():
+    b = GigaBitmap()
+    with pytest.raises(KeyError):
+        b.useful_split(7, [0, 1])
+
+
+def test_cluster_overflow_of_one_sided_partition_is_noop():
+    """Regression: a partition whose entries all hash to one side used to
+    split into an empty sibling; now the overflow is a counted no-op and
+    no empty partition appears."""
+    sim = Simulator()
+    cluster = GigaCluster(sim, GigaParams(n_servers=1, split_threshold=2))
+    bm = GigaBitmap()
+    # names whose hashes all have bit 0 clear: a split can never separate
+    # them at radix 0
+    names = [f"g{i}" for i in range(200) if hash_name(f"g{i}") & 1 == 0][:5]
+    assert len(names) == 5
+
+    def client():
+        for n in names:
+            yield from cluster.client_create(bm, n)
+
+    sim.spawn(client())
+    sim.run()
+    cluster.check_invariants()
+    assert cluster.counters["splits_skipped"] > 0
+    assert cluster.counters["splits"] == 0
+    assert len(cluster.bitmap) == 1                      # no empty sibling
+    assert all(bucket for p, bucket in cluster.entries.items() if p != 0)
+
+
 def test_hash_name_stable_and_spread():
     assert hash_name("abc") == hash_name("abc")
     hashes = {hash_name(f"f{i}") & 0xF for i in range(200)}
