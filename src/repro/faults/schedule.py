@@ -25,7 +25,7 @@ produce identical event sequences and identical ``faults.*`` metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -41,6 +41,7 @@ KINDS = (
     "leaf_blackout",
     "leaf_restore",
     "app_interrupt",
+    "disk_loss",
 )
 
 @dataclass(frozen=True)
@@ -51,6 +52,12 @@ class FaultEvent:
     multiplier); ``park`` selects the crash flavour — ``False`` rejects
     requests instantly ("connection refused"), ``True`` parks them until
     recovery (silent non-response; clients need timeouts to notice).
+
+    ``disk_loss`` is the *durability* fault: the target server's stored
+    shares are permanently wiped (``SimPFS.lose_disk``), as when a crash
+    comes back with a replaced disk.  Unlike a crash — an availability
+    fault whose data survives recovery — lost shares stay lost until a
+    scrubber (:mod:`repro.scrub`) rebuilds them elsewhere.
     """
 
     at_s: float
@@ -112,6 +119,11 @@ class FaultSchedule:
         park: bool = False,
         seed: int = 0,
         name: Optional[str] = None,
+        n_racks: int = 0,
+        burst_servers: int = 2,
+        blackout_s: Optional[float] = None,
+        lose_disks: bool = False,
+        racks: Optional[Sequence[int]] = None,
     ) -> "FaultSchedule":
         """Map an :class:`~repro.failure.traces.InterruptTrace` onto sim time.
 
@@ -121,14 +133,65 @@ class FaultSchedule:
         when ``downtime_s`` is given — recovers it ``downtime_s`` later;
         with ``kind="app_interrupt"`` the events carry no target and are
         consumed by checkpoint drivers (:mod:`repro.workloads.checkpoint`).
+
+        With ``kind="domain_burst"`` each interrupt becomes a *correlated*
+        failure inside one failure domain — the rack-level events the
+        LANL data motivates (one PDU / one switch takes out a whole
+        enclosure at once): a ``leaf_blackout`` of a rack (restored
+        ``blackout_s`` later), plus a simultaneous crash burst of
+        ``burst_servers`` distinct servers drawn from that rack (each
+        recovering after ``downtime_s``, and — with ``lose_disks=True`` —
+        each suffering a ``disk_loss``, so the burst destroys shares
+        rather than merely hiding them).  The rack is drawn from the
+        seeded RNG unless ``racks`` pins an explicit per-burst rack
+        sequence (cycled); rack membership matches
+        :meth:`repro.net.fabric.Topology.server_rack`.  Blackout/restore
+        pairing is preserved by construction, so :meth:`_validate` holds.
         """
-        if kind not in ("server_crash", "app_interrupt"):
-            raise ValueError(f"trace-driven schedules support server_crash/app_interrupt, not {kind!r}")
+        if kind not in ("server_crash", "app_interrupt", "domain_burst"):
+            raise ValueError(
+                "trace-driven schedules support server_crash/app_interrupt/"
+                f"domain_burst, not {kind!r}"
+            )
         times = trace.times_in_seconds(horizon_s)
         rng = np.random.default_rng(seed)
         events: list[FaultEvent] = []
         if kind == "app_interrupt":
             events.extend(FaultEvent(at_s=float(t), kind=kind) for t in times)
+        elif kind == "domain_burst":
+            if n_servers < 1 or n_racks < 1:
+                raise ValueError("domain_burst schedules need n_servers and n_racks >= 1")
+            if burst_servers < 1:
+                raise ValueError("domain_burst schedules need burst_servers >= 1")
+            black_s = blackout_s if blackout_s is not None else 2.0
+            down_s = downtime_s if downtime_s is not None else black_s
+            members_of = [
+                [s for s in range(n_servers) if s * n_racks // n_servers == rack]
+                for rack in range(n_racks)
+            ]
+            for i, t in enumerate(times):
+                if racks is not None:
+                    rack = int(racks[i % len(racks)])
+                    if not 0 <= rack < n_racks:
+                        raise ValueError(f"rack {rack} out of range for {n_racks} racks")
+                else:
+                    rack = int(rng.integers(0, n_racks))
+                members = members_of[rack]
+                count = min(burst_servers, len(members))
+                picks = rng.choice(members, size=count, replace=False)
+                events.append(FaultEvent(at_s=float(t), kind="leaf_blackout", target=rack))
+                events.append(
+                    FaultEvent(at_s=float(t) + black_s, kind="leaf_restore", target=rack)
+                )
+                for srv in sorted(int(s) for s in picks):
+                    events.append(
+                        FaultEvent(at_s=float(t), kind="server_crash", target=srv, park=park)
+                    )
+                    if lose_disks:
+                        events.append(FaultEvent(at_s=float(t), kind="disk_loss", target=srv))
+                    events.append(
+                        FaultEvent(at_s=float(t) + down_s, kind="server_recover", target=srv)
+                    )
         else:
             if n_servers < 1:
                 raise ValueError("server_crash schedules need n_servers >= 1")
@@ -151,10 +214,30 @@ class FaultSchedule:
         return [ev.at_s for ev in self.events if ev.kind == "app_interrupt"]
 
     def until(self, horizon_s: float) -> "FaultSchedule":
-        """The schedule restricted to events strictly before ``horizon_s``."""
-        return FaultSchedule(
-            (ev for ev in self.events if ev.at_s < horizon_s), name=self.name
-        )
+        """The schedule restricted to events strictly before ``horizon_s``.
+
+        A blackout whose matching restore falls at or past the horizon
+        would strand a permanently dark port/leaf and fail
+        :meth:`_validate`; instead the truncation synthesizes the missing
+        restore *at* the horizon, so any prefix of a valid schedule is
+        itself a valid schedule.
+        """
+        kept = [ev for ev in self.events if ev.at_s < horizon_s]
+        for black, restore in (
+            ("port_blackout", "port_restore"),
+            ("leaf_blackout", "leaf_restore"),
+        ):
+            open_targets: dict[int, float] = {}
+            for ev in kept:
+                if ev.kind == black:
+                    open_targets[ev.target] = ev.at_s
+                elif ev.kind == restore:
+                    open_targets.pop(ev.target, None)
+            kept.extend(
+                FaultEvent(at_s=horizon_s, kind=restore, target=target)
+                for target in sorted(open_targets)
+            )
+        return FaultSchedule(kept, name=self.name)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -209,4 +292,6 @@ class FaultSchedule:
             pfs.topology.set_leaf_down(ev.target, True)
         elif ev.kind == "leaf_restore":
             pfs.topology.set_leaf_down(ev.target, False)
+        elif ev.kind == "disk_loss":
+            pfs.lose_disk(ev.target)
         # app_interrupt: consumed by workload drivers, nothing to apply here

@@ -808,6 +808,26 @@ class Topology:
         path = self._route(self.client_port(client), self.client_rack(client), src_rack)
         yield from self._windowed(path, nbytes, parent_span, cwnd_cap, ctx)
 
+    def server_to_server(
+        self, src_server: int, dst_server: int, nbytes: int,
+        parent_span=None, cwnd_cap=None, ctx=None,
+    ):
+        """Move a payload from one server to another (rebuild traffic).
+
+        Scrub/rebuild share collection uses this path: a replacement
+        server pulls surviving shares from their homes.  Same-rack (or
+        flat-topology) transfers cross only the destination edge port;
+        cross-rack transfers ride the source leaf's spine uplink and the
+        destination leaf's downlink — so a rebuild storm contends with
+        foreground traffic exactly where real ones do.
+        """
+        path = self._route(
+            self.server_ports[dst_server],
+            self.server_rack(dst_server),
+            self.server_rack(src_server),
+        )
+        yield from self._windowed(path, nbytes, parent_span, cwnd_cap, ctx)
+
     def to_port(self, port: SwitchPort, nbytes: int, parent_span=None, cwnd_cap=None, ctx=None):
         """Move a payload through one explicit port (e.g. a named funnel)."""
         yield from self._windowed([port], nbytes, parent_span, cwnd_cap, ctx)

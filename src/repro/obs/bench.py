@@ -239,6 +239,25 @@ def _bench_giga_storm() -> dict:
     }
 
 
+def _bench_scrub_rebuild() -> dict:
+    """X21: background scrub rebuilding through correlated disk-loss bursts.
+
+    The seed-0 scrub-on leg of the X21 driver: an rs:4+2 population on a
+    leaf/spine fabric, four rack-domain bursts wiping two disks each,
+    the scrubber rebuilding every lost share between bursts while a
+    foreground writer contends for the spine.
+    """
+    from repro.scrub.driver import run_scrub_rebuild
+
+    r = run_scrub_rebuild(seed=0, scrub_on=True, obs=obs_mod.current())
+    return {
+        "sim_makespan_s": r.makespan_s,
+        "stripes_rebuilt": int(r.stripes_rebuilt),
+        "rebuild_bytes": int(r.rebuild_bytes),
+        "unrecoverable": r.unrecoverable,
+    }
+
+
 #: name -> scenario callable; ordered, pinned — additions append only so
 #: baselines stay comparable benchmark-by-benchmark.
 BENCHMARKS: dict[str, Callable[[], dict]] = {
@@ -251,6 +270,7 @@ BENCHMARKS: dict[str, Callable[[], dict]] = {
     "dfs_grep": _bench_dfs_grep,
     "pnfs_write": _bench_pnfs_write,
     "giga_storm": _bench_giga_storm,
+    "scrub_rebuild": _bench_scrub_rebuild,
 }
 
 

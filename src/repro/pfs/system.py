@@ -23,6 +23,7 @@ from repro.placement.congestion import build_placement
 from repro.pfs.locks import BlockLockManager
 from repro.pfs.params import PFSParams
 from repro.pfs.security import NO_SECURITY, SecurityPolicy
+from repro.scrub.ledger import StripeLedger
 from repro.sim import Acquire, Event, Resource, SimulationError, Simulator, Store, Timeout, Wait
 from repro.sim.stats import Counter
 
@@ -58,6 +59,10 @@ class _ServerRequest:
     done: Event
     parent_span: object = None  # obs span of the issuing client op, if any
     ctx: object = None          # RequestContext of the issuing client op, if any
+    # rebuild flavors (both default off; the defaults keep every historical
+    # request operation-for-operation identical):
+    dest_server: object = None  # read whose payload flows to another *server*
+    local: bool = False         # write whose payload is already resident here
 
 
 class _StorageServer:
@@ -204,8 +209,9 @@ class _StorageServer:
                 # uncontended: RPC + link serialization + disk, one interval
                 # (kept as a single accumulation so results stay bit-stable
                 # with the historical inline NIC arithmetic; slowdown 1.0 is
-                # an exact float no-op)
-                t = fab.request_cost_s(req.nbytes)
+                # an exact float no-op).  A local write's payload is already
+                # resident (rebuild decode output), so it skips the link.
+                t = p.rpc_latency_s if req.local else fab.request_cost_s(req.nbytes)
                 for ext in req.extents:
                     off = self._disk_offset(req.file_id, ext.server_offset)
                     t += self.disk.access(off, ext.length, write=req.write) * self.slowdown
@@ -216,23 +222,38 @@ class _StorageServer:
                     off = self._disk_offset(req.file_id, ext.server_offset)
                     disk_s += self.disk.access(off, ext.length, write=req.write) * self.slowdown
                 if req.write:
-                    # request payload converges on this server's switch port
-                    # (src_client routes cross-rack flows over the spine on
-                    # a leaf/spine fabric; a no-op under the flat topology)
-                    yield Timeout(p.rpc_latency_s)
-                    yield from fab.to_server(
-                        self.index, req.nbytes, parent_span=span, ctx=req.ctx,
-                        src_client=req.client,
-                    )
-                    yield Timeout(disk_s)
+                    if req.local:
+                        # rebuild re-placement: the share was decoded on this
+                        # server, so only the disk write costs anything
+                        yield Timeout(p.rpc_latency_s + disk_s)
+                    else:
+                        # request payload converges on this server's switch
+                        # port (src_client routes cross-rack flows over the
+                        # spine on a leaf/spine fabric; a no-op under the
+                        # flat topology)
+                        yield Timeout(p.rpc_latency_s)
+                        yield from fab.to_server(
+                            self.index, req.nbytes, parent_span=span, ctx=req.ctx,
+                            src_client=req.client,
+                        )
+                        yield Timeout(disk_s)
                 else:
-                    # striped-read replies converge on the *client's* switch
-                    # port — the incast path
                     yield Timeout(p.rpc_latency_s + disk_s)
-                    yield from fab.to_client(
-                        req.client, req.nbytes, parent_span=span, ctx=req.ctx,
-                        src_server=self.index,
-                    )
+                    if req.dest_server is not None:
+                        # rebuild share collection: the payload flows to the
+                        # pulling *server* (cross-rack over the spine when
+                        # racks differ — rebuild storms contend there)
+                        yield from fab.server_to_server(
+                            self.index, req.dest_server, req.nbytes,
+                            parent_span=span, ctx=req.ctx,
+                        )
+                    else:
+                        # striped-read replies converge on the *client's*
+                        # switch port — the incast path
+                        yield from fab.to_client(
+                            req.client, req.nbytes, parent_span=span, ctx=req.ctx,
+                            src_server=self.index,
+                        )
             # record once, after service completes, from one source of truth
             elapsed = self.sim.now - t0
             self.counters.add("requests")
@@ -317,6 +338,13 @@ class SimPFS:
         )
         # parity-share space allocation per (file_id, server)
         self._parity_off: dict[tuple[int, int], int] = {}
+        # stripe-health ledger: which share lives where, what is lost.
+        # Pure bookkeeping (no sim time), recorded by the resilient write
+        # path, consumed by repro.scrub; absent without redundancy, so the
+        # historical paths carry no ledger branches at all
+        self.ledger: Optional[StripeLedger] = (
+            StripeLedger(self.redundancy) if self.redundancy is not None else None
+        )
         self.obs = sim.obs
         self.counters = Counter(
             registry=self.obs.metrics if self.obs else None, prefix="pfs."
@@ -453,12 +481,111 @@ class SimPFS:
                 return cand
         return None
 
-    def _parity_extents(self, fh: FileHandle, server: int, nbytes: int) -> list[Extent]:
+    def _redirect_target(self, server: int, group) -> Optional[int]:
+        """Where a degraded write redirects a share bound for ``server``.
+
+        With a ledger group in hand, prefer the first up server in ring
+        order that neither holds a live share of the group nor is the
+        claimed target of one of its sibling writes — stacking two shares
+        on one server would quietly shrink the group's failure tolerance.
+        When every up server is taken (stripe as wide as the cluster),
+        fall back to the plain group-blind ring successor.
+        """
+        if group is not None:
+            n = self.params.n_servers
+            avoid = {sh.server for sh in group.shares if not sh.lost} | group.claims
+            for j in range(1, n):
+                cand = (server + j) % n
+                if self.servers[cand].up and cand not in avoid:
+                    return cand
+        return self._next_up_server(server)
+
+    def _parity_extents(self, file_id: int, server: int, nbytes: int) -> list[Extent]:
         """Allocate parity-share space on ``server`` (own append-only region)."""
-        key = (fh.file_id, server)
+        key = (file_id, server)
         off = self._parity_off.get(key, 0)
         self._parity_off[key] = off + nbytes
         return [Extent(server=server, server_offset=off, logical_offset=off, length=nbytes)]
+
+    def _server_wiped(self, server: int) -> bool:
+        """Did ``server`` lose shares that nothing has rebuilt yet?
+
+        Coarse by design (per-server, not per-extent): after a
+        ``disk_loss`` every read targeting the server reconstructs from
+        redundancy until the scrubber has relocated the last lost share,
+        at which point the server serves reads normally again.
+        """
+        return self.ledger is not None and self.ledger.server_has_lost_shares(server)
+
+    def lose_disk(self, server: int) -> None:
+        """Apply the ``disk_loss`` fault: ``server``'s stored shares are gone.
+
+        Availability is untouched (crash/recover is a separate fault);
+        durability is not — every share the ledger placed on the server
+        is marked lost, groups past the redundancy tolerance are recorded
+        as permanent data loss, and the scrub counters pick up the damage.
+        """
+        self.servers[server].counters.add("disk_losses")
+        if self.ledger is None:
+            return
+        summary = self.ledger.mark_server_lost(server, now=self.sim.now)
+        if self.obs is not None:
+            m = self.obs.metrics
+            m.counter("scrub.shares_lost").inc(summary["shares_lost"])
+            if summary["groups_unrecoverable"]:
+                m.counter("scrub.stripes_unrecoverable").inc(
+                    summary["groups_unrecoverable"]
+                )
+
+    # -- scrub/rebuild server requests (issued by repro.scrub.Scrubber) ----
+    def scrub_fetch_share(self, file_id: int, src: int, dst: int, nbytes: int,
+                          parent_span=None, ctx=None) -> Event:
+        """Queue a share read on ``src`` whose payload flows to server ``dst``.
+
+        The read waits in ``src``'s FIFO behind foreground requests and
+        pays disk time there; the transfer crosses the fabric server-to-
+        server (the spine, when racks differ).  Returns the completion
+        event; callers race it against their op timeout.
+        """
+        done = self.sim.event(f"scrub:r:{file_id}@{src}")
+        self.servers[src].queue.put(
+            _ServerRequest(
+                file_id=-(file_id + 1),
+                client=0,
+                extents=[Extent(server=src, server_offset=0, logical_offset=0,
+                                length=nbytes)],
+                nbytes=nbytes,
+                write=False,
+                done=done,
+                parent_span=parent_span,
+                ctx=ctx,
+                dest_server=dst,
+            )
+        )
+        return done
+
+    def scrub_store_share(self, file_id: int, dst: int, nbytes: int,
+                          parent_span=None, ctx=None) -> Event:
+        """Queue the re-placement write of a rebuilt share on ``dst``.
+
+        The share was decoded on ``dst`` (the puller), so the write is
+        local: FIFO queueing plus disk time, no fabric transfer.
+        """
+        done = self.sim.event(f"scrub:w:{file_id}@{dst}")
+        self.servers[dst].queue.put(
+            _ServerRequest(
+                file_id=-(file_id + 1),
+                client=0,
+                extents=self._parity_extents(file_id, dst, nbytes),
+                nbytes=nbytes,
+                write=True,
+                done=done,
+                parent_span=parent_span,
+                ctx=ctx,
+                local=True,
+            )
+        )
+        return done
 
     def _parity_targets(self, by_server: dict, nbytes: int) -> list[tuple[int, int]]:
         """(server, nbytes) redundancy writes for one striped request.
@@ -538,11 +665,14 @@ class SimPFS:
             self._fcount("tenant.retries", tenant=ctx.tenant)
 
     def _ft_write_child(self, fh, client, server, sexts, sbytes, parent_span,
-                        parity=False, ctx=None):
+                        parity=False, ctx=None, group=None):
         """Resilient single-server write: retries, backoff, failover.
 
         Returns ``("ok", nbytes)`` or ``("err", RetriesExhausted)`` so the
         parent — not the simulator crash path — decides how to fail.
+        ``group`` is the write's :class:`repro.scrub.ledger.StripeGroup`;
+        a successful child records its share at the *actual* target, so
+        the ledger sees redirected placements, not intended ones.
         """
         ft = self.resilience
         red = self.redundancy
@@ -556,17 +686,23 @@ class SimPFS:
                 and self._down_servers() <= red.tolerance
             ):
                 # degraded write: redirect this request to the next up server
-                alt = self._next_up_server(target)
+                # (ledger-aware: avoid servers already carrying a share of
+                # this group, so a redirect never stacks shares)
+                alt = self._redirect_target(target, group)
                 if alt is not None:
                     self._fcount("redirected_requests")
                     self._fcount("redirected_bytes", sbytes)
                     target = alt
+                    if group is not None:
+                        group.claims.add(alt)
                     continue
-            exts = self._parity_extents(fh, target, sbytes) if parity or target != server else sexts
+            exts = self._parity_extents(fh.file_id, target, sbytes) if parity or target != server else sexts
             ev = self._ft_issue(fh, client, target, exts, sbytes, True, parent_span,
                                 parity=parity or target != server, ctx=ctx)
             try:
                 yield Wait(self._ft_race(ev, target, ft.op_timeout_s))
+                if group is not None:
+                    self.ledger.record_share(group, target, sbytes, parity=parity)
                 return ("ok", sbytes)
             except FaultError as exc:
                 self._note_fault(exc)
@@ -590,7 +726,7 @@ class SimPFS:
             srv = self.servers[server]
             try:
                 if (
-                    not srv.up
+                    (not srv.up or self._server_wiped(server))
                     and red is not None
                     and self._down_servers() <= red.tolerance
                 ):
@@ -633,7 +769,7 @@ class SimPFS:
         sources = []
         for j in range(1, n):
             cand = (server + j) % n
-            if self.servers[cand].up:
+            if self.servers[cand].up and not self._server_wiped(cand):
                 sources.append(cand)
             if len(sources) == need:
                 break
@@ -779,18 +915,37 @@ class SimPFS:
                 yield Wait(ev)
         else:
             # resilient path: one retrying child process per target server,
-            # plus redundancy writes (mirror copies / RS parity shares)
+            # plus redundancy writes (mirror copies / RS parity shares).
+            # With redundancy active the write (re-)places one stripe
+            # group in the health ledger; children record their shares at
+            # the actual landing server as they complete.
+            group = (
+                self.ledger.begin_group(fh.file_id, offset)
+                if self.ledger is not None
+                else None
+            )
+            ptargets = (
+                self._parity_targets(by_server, nbytes)
+                if self.redundancy is not None
+                else []
+            )
+            if group is not None:
+                # claim every intended landing up front: a child that
+                # redirects must not collide with a sibling that has not
+                # started yet
+                group.claims.update(by_server.keys())
+                group.claims.update(s for s, _ in ptargets)
             procs = []
             for server, sexts in by_server.items():
                 sbytes = sum(e.length for e in sexts)
                 procs.append(
                     self.sim.spawn(
-                        self._ft_write_child(fh, client, server, sexts, sbytes, sp, ctx=ctx),
+                        self._ft_write_child(fh, client, server, sexts, sbytes, sp,
+                                             ctx=ctx, group=group),
                         name=f"ftw:{fh.file_id}@{server}",
                     )
                 )
             if self.redundancy is not None:
-                ptargets = self._parity_targets(by_server, nbytes)
                 pbytes = sum(b for _, b in ptargets)
                 if pbytes:
                     # redundant bytes also cross the client's host link
@@ -799,7 +954,7 @@ class SimPFS:
                     procs.append(
                         self.sim.spawn(
                             self._ft_write_child(fh, client, pserver, None, pb, sp,
-                                                 parity=True, ctx=ctx),
+                                                 parity=True, ctx=ctx, group=group),
                             name=f"ftp:{fh.file_id}@{pserver}",
                         )
                     )

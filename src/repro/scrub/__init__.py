@@ -1,0 +1,27 @@
+"""Background scrub and throttled rebuild — the durability pipeline.
+
+PR 4 made reconstruction read-path-only: a degraded stripe heals for the
+duration of one read, then stays degraded.  This package closes the
+loop the way petascale deployments must (the source paper's correlated-
+failure argument): a :class:`StripeLedger` tracks where every redundancy
+share lives and which are lost, and a :class:`Scrubber` simulator
+process scans it, queues under-replicated stripe groups, and rebuilds
+lost shares at a throttled rate — share-collection reads and
+re-placement writes riding the shared fabric, replacement servers chosen
+with flap-aware hysteresis (:mod:`repro.placement.rebuild`).
+
+``repro.scrub.driver`` packages the X21 experiment: correlated
+rack-domain ``disk_loss`` bursts against an rs:k+m file population, with
+and without the scrubber.
+"""
+
+from repro.scrub.ledger import Share, StripeGroup, StripeLedger
+from repro.scrub.scrubber import ScrubParams, Scrubber
+
+__all__ = [
+    "ScrubParams",
+    "Scrubber",
+    "Share",
+    "StripeGroup",
+    "StripeLedger",
+]

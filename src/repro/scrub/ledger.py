@@ -1,0 +1,204 @@
+"""Stripe-health accounting: which redundancy share lives on which server.
+
+The resilient write path (:meth:`repro.pfs.SimPFS.op_write` with a
+``redundancy`` spec) opens one :class:`StripeGroup` per ``(file, offset)``
+region and records every share it lands — data shares at their actual
+(possibly redirected) target plus mirror/parity shares — as the write
+children complete.  A ``disk_loss`` fault (:meth:`repro.pfs.SimPFS.
+lose_disk`) marks every share on the wiped server *lost*; the scrubber
+(:mod:`repro.scrub.scrubber`) scans :meth:`StripeLedger.degraded_groups`
+and relocates lost shares to healthy servers.
+
+Health is the erasure group's arithmetic: a group tolerating ``m``
+failures is *degraded* with ``1..m`` lost shares (recoverable from the
+survivors) and *unrecoverable* past ``m`` — that is data loss, recorded
+permanently even if the run continues.
+
+Everything here is pure bookkeeping: no simulated time, no RNG, no
+events.  Recording shares on the write path therefore cannot perturb any
+makespan — the ideal-fabric goldens in ``tests/test_fabric_equivalence.py``
+stay bit-identical (they run without redundancy and never build a ledger
+at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.faults.resilience import RedundancySpec
+
+
+@dataclass
+class Share:
+    """One redundancy share of one stripe group on one server."""
+
+    server: int
+    nbytes: int
+    parity: bool = False
+    lost: bool = False
+
+
+@dataclass
+class StripeGroup:
+    """One redundancy group: the shares written for one ``(file, offset)``
+    region, data plus mirror/parity.  Rewriting the region re-places the
+    group (shares reset), matching how checkpoint workloads overwrite
+    fixed per-rank partitions in place."""
+
+    gid: int
+    file_id: int
+    offset: int
+    shares: list[Share] = field(default_factory=list)
+    rebuilt_shares: int = 0          # lifetime relocations (idempotence tests)
+    degraded_since: Optional[float] = None
+    #: servers expected to hold a share of the in-flight write (intended
+    #: targets plus redirect landings) — lets degraded-write redirects
+    #: avoid stacking two shares of one group on the same server, which
+    #: would silently shrink the group's failure tolerance
+    claims: set[int] = field(default_factory=set)
+
+    def lost_shares(self) -> list[int]:
+        """Indices of currently-lost shares."""
+        return [i for i, sh in enumerate(self.shares) if sh.lost]
+
+    def live_servers(self) -> list[int]:
+        """Servers holding an intact share, sorted, deduplicated."""
+        return sorted({sh.server for sh in self.shares if not sh.lost})
+
+
+class StripeLedger:
+    """Share placement and health for every stripe group in one ``SimPFS``."""
+
+    def __init__(self, redundancy: RedundancySpec) -> None:
+        self.redundancy = redundancy
+        self._groups: dict[tuple[int, int], StripeGroup] = {}
+        self._by_gid: dict[int, StripeGroup] = {}
+        self._next_gid = 0
+        # per-server count of unresolved lost shares: lets the read path ask
+        # "did this server lose data it has not been rebuilt around yet?"
+        # in O(1) without scanning groups
+        self._server_lost: dict[int, int] = {}
+        #: gids that crossed the tolerance — permanent data loss
+        self.unrecoverable: set[int] = set()
+
+    # -- write-path recording (pure bookkeeping, zero sim time) ---------
+    def begin_group(self, file_id: int, offset: int) -> StripeGroup:
+        """Open (or re-place) the group for one written region."""
+        key = (file_id, offset)
+        group = self._groups.get(key)
+        if group is None:
+            group = StripeGroup(gid=self._next_gid, file_id=file_id, offset=offset)
+            self._next_gid += 1
+            self._groups[key] = group
+            self._by_gid[group.gid] = group
+        else:
+            # overwrite re-places every share; forget the old placement
+            for sh in group.shares:
+                if sh.lost:
+                    self._dec_server_lost(sh.server)
+            group.shares.clear()
+            group.claims.clear()
+            group.degraded_since = None
+        return group
+
+    def record_share(
+        self, group: StripeGroup, server: int, nbytes: int, parity: bool = False
+    ) -> None:
+        group.shares.append(Share(server=server, nbytes=nbytes, parity=parity))
+
+    # -- fault / repair transitions -------------------------------------
+    def _dec_server_lost(self, server: int) -> None:
+        left = self._server_lost.get(server, 0) - 1
+        if left > 0:
+            self._server_lost[server] = left
+        else:
+            self._server_lost.pop(server, None)
+
+    def mark_server_lost(self, server: int, now: Optional[float] = None) -> dict:
+        """Wipe every share on ``server`` (the ``disk_loss`` fault).
+
+        Returns a summary dict: shares newly lost, groups newly degraded,
+        groups newly unrecoverable.
+        """
+        shares_lost = 0
+        newly_degraded = 0
+        newly_unrecoverable = 0
+        tol = self.redundancy.tolerance
+        for group in self._by_gid.values():
+            before = len(group.lost_shares())
+            hit = 0
+            for sh in group.shares:
+                if sh.server == server and not sh.lost:
+                    sh.lost = True
+                    hit += 1
+            if hit == 0:
+                continue
+            shares_lost += hit
+            self._server_lost[server] = self._server_lost.get(server, 0) + hit
+            if before == 0:
+                newly_degraded += 1
+                group.degraded_since = now
+            after = before + hit
+            if after > tol and group.gid not in self.unrecoverable:
+                self.unrecoverable.add(group.gid)
+                newly_unrecoverable += 1
+        return {
+            "shares_lost": shares_lost,
+            "groups_degraded": newly_degraded,
+            "groups_unrecoverable": newly_unrecoverable,
+        }
+
+    def relocate(self, group: StripeGroup, share_index: int, new_server: int) -> None:
+        """A rebuilt share now lives on ``new_server``; clear its lost flag."""
+        sh = group.shares[share_index]
+        if not sh.lost:
+            raise ValueError(
+                f"share {share_index} of group {group.gid} is not lost; "
+                "a healthy share must never be rewritten"
+            )
+        self._dec_server_lost(sh.server)
+        sh.server = new_server
+        sh.lost = False
+        group.rebuilt_shares += 1
+        if not group.lost_shares():
+            group.degraded_since = None
+
+    # -- queries ---------------------------------------------------------
+    def group(self, gid: int) -> StripeGroup:
+        return self._by_gid[gid]
+
+    def groups(self) -> Iterator[StripeGroup]:
+        return iter(self._by_gid.values())
+
+    def degraded_groups(self) -> list[StripeGroup]:
+        """Recoverable groups with at least one lost share, gid order.
+
+        Unrecoverable groups are excluded: with more than ``tolerance``
+        shares gone there is nothing left to decode from.
+        """
+        return [
+            g
+            for gid, g in sorted(self._by_gid.items())
+            if gid not in self.unrecoverable and g.lost_shares()
+        ]
+
+    def server_has_lost_shares(self, server: int) -> bool:
+        """Does ``server`` still hold (the ghost of) any un-rebuilt share?"""
+        return server in self._server_lost
+
+    def health(self) -> dict:
+        """Summary for reports and assertions."""
+        degraded = 0
+        lost = 0
+        for gid, g in self._by_gid.items():
+            n_lost = len(g.lost_shares())
+            lost += n_lost
+            if n_lost and gid not in self.unrecoverable:
+                degraded += 1
+        return {
+            "groups": len(self._by_gid),
+            "degraded": degraded,
+            "unrecoverable": len(self.unrecoverable),
+            "lost_shares": lost,
+        }

@@ -389,6 +389,140 @@ def test_too_many_failures_exhaust_even_with_redundancy():
     run_app(sim, app())
 
 
+# -- truncation: until() must not strand blackouts ------------------------
+
+
+def test_until_synthesizes_restore_at_horizon():
+    """Regression: truncating between a blackout and its restore used to
+    produce an invalid schedule (permanently dark port) — until() now
+    synthesizes the missing restore at the horizon."""
+    sched = FaultSchedule(
+        [
+            FaultEvent(1.0, "port_blackout", target=2),
+            FaultEvent(10.0, "port_restore", target=2),
+            FaultEvent(2.0, "leaf_blackout", target=0),
+            FaultEvent(12.0, "leaf_restore", target=0),
+        ]
+    )
+    cut = sched.until(5.0)
+    kinds = [(ev.at_s, ev.kind, ev.target) for ev in cut]
+    assert (1.0, "port_blackout", 2) in kinds
+    assert (5.0, "port_restore", 2) in kinds
+    assert (2.0, "leaf_blackout", 0) in kinds
+    assert (5.0, "leaf_restore", 0) in kinds
+    assert all(ev.at_s <= 5.0 for ev in cut)
+
+
+def test_until_keeps_closed_pairs_untouched():
+    sched = FaultSchedule(
+        [
+            FaultEvent(1.0, "port_blackout", target=2),
+            FaultEvent(2.0, "port_restore", target=2),
+            FaultEvent(8.0, "server_crash", target=1),
+        ]
+    )
+    cut = sched.until(5.0)
+    assert [(ev.at_s, ev.kind) for ev in cut] == [
+        (1.0, "port_blackout"),
+        (2.0, "port_restore"),
+    ]
+
+
+# -- correlated domain bursts ---------------------------------------------
+
+
+def _burst_schedule(**over):
+    from repro.failure.traces import InterruptTrace
+
+    trace = InterruptTrace(
+        system="bursts",
+        n_chips=12,
+        years=100.0,
+        interrupt_times=np.array([10.0, 40.0, 70.0]),
+    )
+    kw = dict(
+        horizon_s=100.0,
+        kind="domain_burst",
+        n_servers=12,
+        n_racks=3,
+        burst_servers=2,
+        downtime_s=5.0,
+        blackout_s=2.0,
+        lose_disks=True,
+        seed=7,
+    )
+    kw.update(over)
+    return FaultSchedule.from_interrupt_trace(trace, **kw)
+
+
+def test_domain_burst_emits_correlated_events():
+    sched = _burst_schedule(racks=[0, 1, 2])
+    by_kind = {}
+    for ev in sched:
+        by_kind.setdefault(ev.kind, []).append(ev)
+    # one blackout/restore pair per burst, pairing valid by construction
+    assert len(by_kind["leaf_blackout"]) == 3
+    assert len(by_kind["leaf_restore"]) == 3
+    assert [ev.target for ev in by_kind["leaf_blackout"]] == [0, 1, 2]
+    # two crashed servers per burst, each with a disk loss and a recovery
+    assert len(by_kind["server_crash"]) == 6
+    assert len(by_kind["disk_loss"]) == 6
+    assert len(by_kind["server_recover"]) == 6
+    # crashed servers belong to the burst's rack (Topology.server_rack rule)
+    for black in by_kind["leaf_blackout"]:
+        crashed = [
+            ev.target for ev in by_kind["server_crash"] if ev.at_s == black.at_s
+        ]
+        assert len(set(crashed)) == 2
+        assert all(s * 3 // 12 == black.target for s in crashed)
+    # restores trail by the configured intervals
+    assert all(
+        any(r.at_s == b.at_s + 2.0 and r.target == b.target
+            for r in by_kind["leaf_restore"])
+        for b in by_kind["leaf_blackout"]
+    )
+    assert all(
+        any(r.at_s == c.at_s + 5.0 and r.target == c.target
+            for r in by_kind["server_recover"])
+        for c in by_kind["server_crash"]
+    )
+
+
+def test_domain_burst_deterministic_and_validated():
+    assert _burst_schedule().events == _burst_schedule().events
+    assert _burst_schedule(lose_disks=False).events != _burst_schedule().events
+    with pytest.raises(ValueError, match="n_servers and n_racks"):
+        _burst_schedule(n_racks=0)
+    with pytest.raises(ValueError, match="burst_servers"):
+        _burst_schedule(burst_servers=0)
+    with pytest.raises(ValueError, match="out of range"):
+        _burst_schedule(racks=[5])
+
+
+def test_disk_loss_event_wipes_shares():
+    with obs_mod.use(obs_mod.Observability(name="wipe")) as o:
+        sim, pfs = _pfs(PFSParams(redundancy="rs:4+2"))
+
+        def app():
+            yield from pfs.op_create(0, "/f")
+            yield from pfs.op_write(0, "/f", 0, 1 << 20)
+
+        run_app(sim, app())
+        assert pfs.ledger.health()["degraded"] == 0
+        FaultSchedule(
+            [FaultEvent(0.5, "disk_loss", target=1)], name="wipe"
+        ).inject(sim, pfs)
+        sim.run()
+        counters = o.metrics.snapshot()["counters"]
+    health = pfs.ledger.health()
+    assert health["degraded"] >= 1
+    assert health["unrecoverable"] == 0  # one wiped server <= tolerance
+    assert pfs._server_wiped(1)
+    assert pfs.servers[1].up  # availability untouched by a durability fault
+    assert counters["faults.injected{kind=disk_loss}"] == 1.0
+    assert counters["scrub.shares_lost"] >= 1.0
+
+
 # -- determinism pair -----------------------------------------------------
 
 

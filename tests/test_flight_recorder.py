@@ -395,6 +395,23 @@ def test_benchdiff_identical_passes_and_regression_fails(capsys):
     assert any("missing" in p for p in benchdiff.compare(base, missing, 0.25, "off"))
 
 
+def test_benchdiff_wall_floor_ignores_jitter_scale_benchmarks():
+    # a 4ms benchmark doubling its wall is scheduler jitter, not a
+    # regression — below the floor it is excluded from the wall check
+    base = _fake_bench(1000, 0.004, 2000, 1.0)
+    noisy = _fake_bench(1000, 0.009, 2000, 1.0)
+    assert benchdiff.compare(base, noisy, 0.25, "relative") == []
+    # ...but its deterministic metrics are still compared
+    worse = _fake_bench(1600, 0.004, 2000, 1.0)
+    assert any("a.events_dispatched" in p
+               for p in benchdiff.compare(base, worse, 0.25, "relative"))
+    # raising the floor above a benchmark's baseline wall silences it too
+    big = _fake_bench(1000, 0.5, 2000, 2.0)
+    skew = _fake_bench(1000, 2.0, 2000, 2.0)
+    assert any("a.wall_s" in p for p in benchdiff.compare(big, skew, 0.25, "relative"))
+    assert benchdiff.compare(big, skew, 0.25, "relative", wall_floor=1.0) == []
+
+
 def test_benchdiff_cli_roundtrip(tmp_path):
     base = tmp_path / "base.json"
     cur = tmp_path / "cur.json"

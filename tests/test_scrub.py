@@ -1,0 +1,261 @@
+"""Unit and integration tests for the durability pipeline (repro.scrub).
+
+Covers the stripe ledger's health transitions (degrade, relocate,
+unrecoverable permanence, overwrite re-placement), the flap-aware
+rebuild placement, and the scrubber end-to-end: lost shares found,
+queued, rebuilt over the fabric at a throttled rate, counters and
+repair times recorded, and — the determinism contract — one seed, two
+runs, identical outcomes.
+"""
+
+import pytest
+
+from repro import obs as obs_mod
+from repro.faults.resilience import RedundancySpec, ResilienceParams
+from repro.pfs.params import PFSParams
+from repro.pfs.system import SimPFS
+from repro.placement.rebuild import FlapStats, RebuildPlacement
+from repro.scrub import ScrubParams, Scrubber, StripeLedger
+from repro.sim import Simulator
+
+
+RS21 = RedundancySpec.parse("rs:2+1")
+REGION = 128 * 1024  # two 64 KiB data shares + one parity share under rs:2+1
+
+
+# -- ledger unit tests ----------------------------------------------------
+
+
+def _ledger_with_group(servers=(0, 1, 2)):
+    led = StripeLedger(RS21)
+    group = led.begin_group(file_id=0, offset=0)
+    for i, s in enumerate(servers):
+        led.record_share(group, s, 64 * 1024, parity=(i == len(servers) - 1))
+    return led, group
+
+
+def test_ledger_degrade_and_relocate_roundtrip():
+    led, group = _ledger_with_group()
+    assert led.health() == {
+        "groups": 1, "degraded": 0, "unrecoverable": 0, "lost_shares": 0
+    }
+    res = led.mark_server_lost(1, now=3.0)
+    assert res == {
+        "shares_lost": 1, "groups_degraded": 1, "groups_unrecoverable": 0
+    }
+    assert group.degraded_since == 3.0
+    assert led.server_has_lost_shares(1)
+    assert led.degraded_groups() == [group]
+    led.relocate(group, group.lost_shares()[0], new_server=4)
+    assert not led.server_has_lost_shares(1)
+    assert group.degraded_since is None
+    assert group.rebuilt_shares == 1
+    assert led.health()["degraded"] == 0
+    assert group.live_servers() == [0, 2, 4]
+
+
+def test_ledger_never_rewrites_a_healthy_share():
+    led, group = _ledger_with_group()
+    with pytest.raises(ValueError, match="never be rewritten"):
+        led.relocate(group, 0, new_server=5)
+
+
+def test_ledger_unrecoverable_is_permanent():
+    led, group = _ledger_with_group()
+    led.mark_server_lost(0)
+    led.mark_server_lost(1)  # 2 lost > m=1: data loss
+    assert led.health()["unrecoverable"] == 1
+    assert led.degraded_groups() == []  # nothing left to decode from
+    # rebuilding the remaining share cannot resurrect the group
+    assert group.gid in led.unrecoverable
+    led.mark_server_lost(2)
+    assert led.health()["unrecoverable"] == 1  # counted once
+
+
+def test_ledger_overwrite_replaces_group():
+    led, group = _ledger_with_group()
+    led.mark_server_lost(1)
+    group2 = led.begin_group(file_id=0, offset=0)
+    assert group2 is group  # same region, same group identity
+    assert group.shares == [] and group.claims == set()
+    assert not led.server_has_lost_shares(1)  # old loss forgotten
+    led.record_share(group, 3, 64 * 1024)
+    led.record_share(group, 4, 64 * 1024)
+    led.record_share(group, 5, 64 * 1024, parity=True)
+    assert led.health() == {
+        "groups": 1, "degraded": 0, "unrecoverable": 0, "lost_shares": 0
+    }
+
+
+# -- flap-aware placement -------------------------------------------------
+
+
+def test_flap_stats_decay():
+    flaps = FlapStats(4, decay_s=10.0)
+    flaps.record(2, 1.0, now=0.0)
+    assert flaps.score(2, now=0.0) == pytest.approx(1.0)
+    assert flaps.score(2, now=10.0) == pytest.approx(0.3679, abs=1e-3)
+    flaps.record(2, 1.0, now=10.0)  # decayed history + fresh crash
+    assert flaps.score(2, now=10.0) == pytest.approx(1.3679, abs=1e-3)
+    with pytest.raises(ValueError):
+        flaps.record(0, -1.0, now=0.0)
+
+
+def test_rebuild_placement_base_is_ring_successor():
+    place = RebuildPlacement(6, FlapStats(6))
+    assert place.choose(2, ok=lambda s: True) == 3
+    assert place.choose(5, ok=lambda s: True) == 0  # wraps
+    assert place.choose(2, ok=lambda s: s != 3) == 4
+    assert place.choose(2, ok=lambda s: False) is None
+    assert place.diversions == 0
+
+
+def test_rebuild_placement_hysteresis_diverts_off_flappy_servers():
+    flaps = FlapStats(6, decay_s=60.0)
+    place = RebuildPlacement(6, flaps, hysteresis=0.5)
+    flaps.record(3, 2.0, now=0.0)  # ring successor of 2 is crashy
+    assert place.choose(2, ok=lambda s: True, now=0.0) == 4
+    assert place.diversions == 1
+    # within the hysteresis margin the base choice sticks
+    flaps2 = FlapStats(6)
+    place2 = RebuildPlacement(6, flaps2, hysteresis=0.5)
+    flaps2.record(3, 0.4, now=0.0)
+    assert place2.choose(2, ok=lambda s: True, now=0.0) == 3
+    assert place2.diversions == 0
+
+
+def test_rebuild_placement_validates_flap_width():
+    with pytest.raises(ValueError, match="flap stats"):
+        RebuildPlacement(6, FlapStats(4))
+
+
+# -- scrubber end-to-end --------------------------------------------------
+
+
+def _populated(n_files=3, obs=None):
+    sim = Simulator(obs=obs)
+    pfs = SimPFS(
+        sim,
+        PFSParams(
+            n_servers=6,
+            redundancy="rs:2+1",
+            resilience=ResilienceParams(op_timeout_s=0.5, seed=1),
+        ),
+    )
+
+    def populate():
+        for f in range(n_files):
+            yield from pfs.op_create(0, f"/f{f}")
+            yield from pfs.op_write(0, f"/f{f}", 0, REGION)
+
+    sim.spawn(populate())
+    sim.run()
+    return sim, pfs
+
+
+def test_scrubber_requires_a_ledger():
+    sim = Simulator()
+    pfs = SimPFS(sim, PFSParams())
+    with pytest.raises(ValueError, match="ledger"):
+        Scrubber(sim, pfs)
+
+
+def test_scrubber_rebuilds_everything_after_a_wipe():
+    with obs_mod.use(obs_mod.Observability(name="scrub1")) as o:
+        sim, pfs = _populated(obs=None)
+        pfs.lose_disk(2)
+        degraded0 = pfs.ledger.health()["degraded"]
+        assert degraded0 >= 1
+        scrubber = Scrubber(
+            sim, pfs, ScrubParams(scan_interval_s=0.1, rebuild_Bps=100e6)
+        )
+        scrubber.start(until_s=sim.now + 10.0)
+        sim.run()
+        counters = o.metrics.snapshot()["counters"]
+    health = pfs.ledger.health()
+    assert health["degraded"] == 0 and health["unrecoverable"] == 0
+    assert not pfs._server_wiped(2)  # serves reads normally again
+    stats = scrubber.stats()
+    assert stats["stripes_degraded"] == degraded0
+    assert stats["stripes_rebuilt"] == degraded0
+    assert stats["shares_rebuilt"] == stats["shares_queued"]
+    assert stats["rebuild_bytes"] > 0
+    assert stats["pending"] == 0
+    assert len(scrubber.repair_times) == degraded0
+    assert all(t > 0 for t in scrubber.repair_times)
+    assert counters["scrub.shares_rebuilt"] == stats["shares_rebuilt"]
+    assert counters["scrub.stripes_rebuilt"] == degraded0
+
+
+def test_scrubber_never_touches_healthy_stripes():
+    sim, pfs = _populated()
+    before = {
+        g.gid: [(sh.server, sh.lost) for sh in g.shares]
+        for g in pfs.ledger.groups()
+    }
+    scrubber = Scrubber(sim, pfs, ScrubParams(scan_interval_s=0.1))
+    assert scrubber.scan() == 0  # nothing lost, nothing queued
+    scrubber.start(until_s=sim.now + 2.0)
+    sim.run()
+    after = {
+        g.gid: [(sh.server, sh.lost) for sh in g.shares]
+        for g in pfs.ledger.groups()
+    }
+    assert after == before
+    assert scrubber.stats()["shares_rebuilt"] == 0
+    assert all(g.rebuilt_shares == 0 for g in pfs.ledger.groups())
+
+
+def test_without_scrub_damage_persists_and_reads_reconstruct():
+    with obs_mod.use(obs_mod.Observability(name="noscrub")) as o:
+        sim, pfs = _populated()
+        pfs.lose_disk(0)
+        degraded = pfs.ledger.health()["degraded"]
+
+        def reader():
+            yield from pfs.op_read(0, "/f0", 0, REGION)
+
+        sim.spawn(reader())
+        sim.run()
+        counters = o.metrics.snapshot()["counters"]
+    # the read healed nothing durable: damage persists without a scrubber
+    assert pfs.ledger.health()["degraded"] == degraded
+    assert pfs._server_wiped(0)
+    assert counters.get("faults.reconstructions", 0) >= 1
+
+
+def test_rebuild_throttle_paces_admissions():
+    def run_with(bps):
+        sim, pfs = _populated(n_files=4)
+        pfs.lose_disk(1)
+        scrubber = Scrubber(
+            sim, pfs, ScrubParams(scan_interval_s=0.05, rebuild_Bps=bps)
+        )
+        t0 = sim.now
+        scrubber.start(until_s=sim.now + 60.0)
+        sim.run()
+        assert pfs.ledger.health()["degraded"] == 0
+        return max(scrubber.repair_times), scrubber.throttle_occupancy(), t0
+
+    slow_repair, slow_occ, _ = run_with(1e6)
+    fast_repair, fast_occ, _ = run_with(1e9)
+    assert slow_repair > fast_repair  # starved budget stretches repairs
+    assert slow_occ > fast_occ
+    assert 0.0 < slow_occ <= 1.0
+
+
+def test_scrub_run_is_deterministic():
+    def one():
+        with obs_mod.use(obs_mod.Observability(name="det")) as o:
+            sim, pfs = _populated()
+            pfs.lose_disk(3)
+            scrubber = Scrubber(sim, pfs, ScrubParams(scan_interval_s=0.1))
+            scrubber.start(until_s=sim.now + 10.0)
+            makespan = sim.run()
+            counters = o.metrics.snapshot()["counters"]
+        scrub_counters = {
+            k: v for k, v in counters.items() if k.startswith("scrub.")
+        }
+        return makespan, scrubber.stats(), scrub_counters, scrubber.repair_times
+
+    assert one() == one()

@@ -1,0 +1,184 @@
+"""Property suite for the durability pipeline (repro.scrub).
+
+Three load-bearing claims, checked over hypothesis-generated share
+placements and wipe patterns rather than on the happy path:
+
+1. **Exact flagging** — after any sequence of disk wipes, the ledger's
+   degraded set is exactly the recoverable groups with at least one
+   lost share, and one scrub scan queues exactly those groups' lost
+   shares, each once (a second scan queues nothing new).
+2. **Rebuild idempotence** — running the scrubber to convergence heals
+   every recoverable group; running it again afterwards rebuilds
+   nothing further and moves no share.
+3. **Healthy shares are never rewritten** — the ledger refuses to
+   relocate an intact share, and after a full scrub pass every group
+   that was healthy at wipe time still has its original placement.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.resilience import RedundancySpec, ResilienceParams
+from repro.pfs.params import PFSParams
+from repro.pfs.system import SimPFS
+from repro.scrub import ScrubParams, Scrubber, StripeLedger
+from repro.sim import Simulator
+
+
+# -- ledger level ---------------------------------------------------------
+
+
+@st.composite
+def ledger_states(draw):
+    """A ledger with random rs groups on random distinct servers, plus a
+    random multiset of server wipes."""
+    k = draw(st.integers(2, 3))
+    m = draw(st.integers(1, 2))
+    n_servers = draw(st.integers(k + m, 10))
+    n_groups = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    led = StripeLedger(RedundancySpec.parse(f"rs:{k}+{m}"))
+    for g in range(n_groups):
+        group = led.begin_group(file_id=g, offset=0)
+        for i, s in enumerate(rng.choice(n_servers, size=k + m, replace=False)):
+            led.record_share(group, int(s), 64 * 1024, parity=(i >= k))
+    n_wipes = draw(st.integers(0, n_servers))
+    wiped = [int(s) for s in rng.choice(n_servers, size=n_wipes, replace=False)]
+    return led, wiped
+
+
+@given(ledger_states())
+@settings(max_examples=80, deadline=None)
+def test_ledger_flags_exactly_the_underreplicated_groups(state):
+    led, wiped = state
+    for s in wiped:
+        led.mark_server_lost(s, now=1.0)
+    tol = led.redundancy.tolerance
+    expect_degraded = set()
+    expect_unrec = set()
+    for g in led.groups():
+        lost = sum(1 for sh in g.shares if sh.server in set(wiped))
+        assert len(g.lost_shares()) == lost  # every wiped share flagged
+        if lost > tol:
+            expect_unrec.add(g.gid)
+        elif lost:
+            expect_degraded.add(g.gid)
+    assert {g.gid for g in led.degraded_groups()} == expect_degraded
+    assert led.unrecoverable == expect_unrec
+    assert led.health()["degraded"] == len(expect_degraded)
+    # per-server index agrees with the share-level truth
+    for s in range(10):
+        holds_lost = any(
+            sh.lost and sh.server == s for g in led.groups() for sh in g.shares
+        )
+        assert led.server_has_lost_shares(s) == holds_lost
+
+
+@given(ledger_states())
+@settings(max_examples=80, deadline=None)
+def test_ledger_relocate_is_idempotent_and_refuses_healthy(state):
+    led, wiped = state
+    for s in wiped:
+        led.mark_server_lost(s, now=1.0)
+    for g in led.degraded_groups():
+        for idx in list(g.lost_shares()):
+            # a healthy replacement exists in [10, ...) — off every server
+            led.relocate(g, idx, new_server=10 + idx)
+        assert g.lost_shares() == []
+    # second pass: nothing lost anywhere on recoverable groups; every
+    # relocate attempt on an intact share must refuse
+    for g in led.groups():
+        if g.gid in led.unrecoverable:
+            continue
+        assert g.lost_shares() == []
+        for idx in range(len(g.shares)):
+            try:
+                led.relocate(g, idx, new_server=50)
+                raise AssertionError("relocated a healthy share")
+            except ValueError:
+                pass
+
+
+# -- scrubber level -------------------------------------------------------
+
+
+REGION = 128 * 1024  # rs:2+1 -> three 64 KiB shares per group
+
+
+def _populated(n_files):
+    sim = Simulator()
+    pfs = SimPFS(
+        sim,
+        PFSParams(
+            n_servers=6,
+            redundancy="rs:2+1",
+            resilience=ResilienceParams(op_timeout_s=0.5, seed=1),
+        ),
+    )
+
+    def populate():
+        for f in range(n_files):
+            yield from pfs.op_create(0, f"/f{f}")
+            yield from pfs.op_write(0, f"/f{f}", 0, REGION)
+
+    sim.spawn(populate())
+    sim.run()
+    return sim, pfs
+
+
+@given(
+    n_files=st.integers(1, 4),
+    wipes=st.lists(st.integers(0, 5), min_size=0, max_size=2, unique=True),
+)
+@settings(max_examples=15, deadline=None)
+def test_scan_queues_exactly_the_lost_shares(n_files, wipes):
+    sim, pfs = _populated(n_files)
+    for s in wipes:
+        pfs.lose_disk(s)
+    scrubber = Scrubber(sim, pfs, ScrubParams())
+    expected = sum(len(g.lost_shares()) for g in pfs.ledger.degraded_groups())
+    assert scrubber.scan() == expected
+    assert len(scrubber._pending) == expected
+    assert scrubber.scan() == 0  # already queued: scanning again adds nothing
+    assert scrubber.counts["shares_queued"] == expected
+
+
+@given(
+    n_files=st.integers(1, 4),
+    wipe=st.integers(0, 5),
+)
+@settings(max_examples=10, deadline=None)
+def test_rebuild_converges_and_is_idempotent(n_files, wipe):
+    sim, pfs = _populated(n_files)
+    healthy_before = {
+        g.gid: [(sh.server, sh.parity) for sh in g.shares]
+        for g in pfs.ledger.groups()
+        if all(sh.server != wipe for sh in g.shares)
+    }
+    pfs.lose_disk(wipe)
+    scrubber = Scrubber(sim, pfs, ScrubParams(scan_interval_s=0.1))
+    scrubber.start(until_s=sim.now + 20.0)
+    sim.run()
+    assert pfs.ledger.health()["degraded"] == 0
+    assert pfs.ledger.health()["unrecoverable"] == 0
+    rebuilt_once = scrubber.stats()["shares_rebuilt"]
+    placement = {
+        g.gid: [(sh.server, sh.lost) for sh in g.shares]
+        for g in pfs.ledger.groups()
+    }
+    # groups untouched by the wipe keep their exact placement
+    for gid, shares in healthy_before.items():
+        g = pfs.ledger.group(gid)
+        assert [(sh.server, sh.parity) for sh in g.shares] == shares
+        assert g.rebuilt_shares == 0
+    # a second scrub pass over the healed system moves nothing
+    second = Scrubber(sim, pfs, ScrubParams(scan_interval_s=0.1))
+    second.start(until_s=sim.now + 5.0)
+    sim.run()
+    assert second.stats()["shares_rebuilt"] == 0
+    assert scrubber.stats()["shares_rebuilt"] == rebuilt_once
+    assert {
+        g.gid: [(sh.server, sh.lost) for sh in g.shares]
+        for g in pfs.ledger.groups()
+    } == placement

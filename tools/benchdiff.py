@@ -19,8 +19,13 @@ Two classes of metric, compared differently:
   tolerance.  Caveat: a uniform slowdown across every benchmark is
   normalized away by construction — that case is caught by the
   deterministic event counts and by the committed trajectory over time,
-  not by one diff.  ``--absolute-wall`` disables the normalization for
-  same-machine comparisons; ``--no-wall`` skips wall checks entirely.
+  not by one diff.  Benchmarks whose *baseline* wall is under
+  ``--wall-floor`` seconds (default 0.02) are excluded from the wall
+  check (and from the geometric mean): at that scale the measurement is
+  scheduler jitter, not the workload, and a 25% band is a few
+  milliseconds wide.  Their deterministic metrics are still compared.
+  ``--absolute-wall`` disables the normalization for same-machine
+  comparisons; ``--no-wall`` skips wall checks entirely.
 
 Exit codes: 0 no regression, 1 regression (or missing benchmark), 2
 usage / unreadable / schema-mismatched input.
@@ -50,7 +55,8 @@ def load(path: str) -> dict:
     return doc
 
 
-def compare(base: dict, cur: dict, tolerance: float, wall: str) -> list[str]:
+def compare(base: dict, cur: dict, tolerance: float, wall: str,
+            wall_floor: float = 0.02) -> list[str]:
     """Return a list of regression descriptions (empty = pass)."""
     problems: list[str] = []
     b_rows, c_rows = base["benchmarks"], cur["benchmarks"]
@@ -74,7 +80,7 @@ def compare(base: dict, cur: dict, tolerance: float, wall: str) -> list[str]:
         ratios = {}
         for name in common:
             b, c = b_rows[name].get("wall_s"), c_rows[name].get("wall_s")
-            if b and c and b > 0:
+            if b and c and b >= wall_floor:
                 ratios[name] = c / b
         if ratios:
             gmean = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
@@ -102,10 +108,13 @@ def main(argv=None) -> int:
                         help="skip wall-clock checks entirely")
     parser.add_argument("--absolute-wall", action="store_true",
                         help="compare raw wall ratios (same-machine runs)")
+    parser.add_argument("--wall-floor", type=float, default=0.02,
+                        help="skip wall checks for benchmarks whose baseline "
+                             "wall is below this many seconds (default 0.02)")
     args = parser.parse_args(argv)
     base, cur = load(args.baseline), load(args.current)
     wall = "off" if args.no_wall else ("absolute" if args.absolute_wall else "relative")
-    problems = compare(base, cur, args.tolerance, wall)
+    problems = compare(base, cur, args.tolerance, wall, args.wall_floor)
     names = [n for n in base["benchmarks"] if n in cur["benchmarks"]]
     print(f"benchdiff: {base.get('rev')} -> {cur.get('rev')}  "
           f"({len(names)} benchmarks, tolerance {args.tolerance * 100:.0f}%, wall={wall})")
