@@ -12,6 +12,7 @@ from repro.net.fabric import (
     fluid_shared_Bps,
     synchronized_fanin,
 )
+from repro.net.fluid import FluidEngine, burst_stalls, windowed_rounds
 from repro.net.incast import (
     IncastConfig,
     IncastResult,
@@ -24,6 +25,7 @@ from repro.net.incast import (
 __all__ = [
     "FabricParams",
     "FaninResult",
+    "FluidEngine",
     "IDEAL_FABRIC",
     "IncastConfig",
     "IncastResult",
@@ -33,8 +35,10 @@ __all__ = [
     "SwitchPort",
     "TEN_GE",
     "Topology",
+    "burst_stalls",
     "fluid_shared_Bps",
     "simulate_incast",
     "sweep_senders",
     "synchronized_fanin",
+    "windowed_rounds",
 ]

@@ -32,7 +32,7 @@ module is the one place the reproduction models that network:
   incast reproduction (one round = one RTT), now a fabric primitive so
   ``repro.net.incast`` is a thin configuration of it.
 
-Two drive modes share the same :class:`SwitchPort` semantics:
+Three drive modes share the same :class:`SwitchPort` semantics:
 
 =============  =======================================================
 process mode   :meth:`Topology.to_server` / :meth:`Topology.to_client`
@@ -40,6 +40,16 @@ process mode   :meth:`Topology.to_server` / :meth:`Topology.to_client`
                until the port's link (a capacity-1 resource) drains
                them; a flow finding the buffer full suffers a full-
                window loss and sits out a (min-)RTO before retrying.
+               This is ``FabricParams.mode="exact"``, the default,
+               pinned bit-identical by the goldens.
+fluid mode     ``FabricParams.mode="fluid"`` routes the same
+               :meth:`Topology.to_server` / :meth:`~Topology.to_client`
+               calls through :class:`repro.net.fluid.FluidEngine`:
+               flows are max-min fair bandwidth *shares* over their hop
+               path, recomputed at tick intervals, with synchronized
+               bursts stall-probed through the window dynamics.  ~100×
+               fewer simulator events; matches exact-mode curves within
+               the tolerance stated in ``docs/performance.md``.
 round mode     :func:`synchronized_fanin` advances whole RTT rounds
                with vectorized window/drop/RTO bookkeeping — exactly
                the published incast model.
@@ -57,6 +67,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.net.fluid import FluidEngine, windowed_rounds
 from repro.sim import Acquire, Resource, Simulator, Timeout
 
 #: Occupancy histogram bucket edges (packets queued at a port).
@@ -145,29 +156,62 @@ class LeafSpineParams:
 class FabricParams:
     """Congestion knobs shared by every fabric consumer.
 
-    ``buffer_pkts=None`` selects the **ideal** fabric — infinite
-    buffers, no contention — under which :class:`Topology` reproduces
-    plain ``latency + nbytes/bandwidth`` arithmetic exactly.
+    ``buffer_pkts=None`` with the default ``mode="exact"`` selects the
+    **ideal** fabric — infinite buffers, no contention — under which
+    :class:`Topology` reproduces plain ``latency + nbytes/bandwidth``
+    arithmetic exactly.
+
+    Two drive modes share every knob (see ``docs/performance.md`` for
+    the tolerance contract between them):
+
+    * ``mode="exact"`` — per-packet windowed rounds
+      (:meth:`Topology._windowed`): admission against finite buffers,
+      tail drops, fast retransmit, full-window-loss RTOs.  Goldens pin
+      this mode bit-identical.
+    * ``mode="fluid"`` — tick-interval max-min fair-share rates
+      (:class:`repro.net.fluid.FluidEngine`): flows hold bandwidth
+      shares on their hop path, synchronized bursts are stall-probed
+      through the same window dynamics, and event cost is per *flow*,
+      not per packet round — the mode for 10⁵–10⁶-client sweeps.
 
     Attributes
     ----------
     name: label for reports and port metrics (default ``"ideal"``).
+        Both modes.
     buffer_pkts: per-port shared output buffer, in packets.  ``None``
-        (the default) is the infinite/ideal fabric; real 2008-era
-        top-of-rack switches bufferred 32–128 packets per port.
+        (the default) is the infinite buffer; real 2008-era top-of-rack
+        switches buffered 32–128 packets per port.  Exact mode: gates
+        admission per round.  Fluid mode: sizes the burst-stall probe's
+        round capacity (``None`` disables the probe — pure sharing).
     pkt_bytes: packet (MTU) size in bytes (default 1500, Ethernet).
+        Both modes: sets packet counts, serialization times, and the
+        fluid latency surcharge.
     rtt_s: base round-trip time in seconds (default 100 µs, one
-        datacenter switch hop).
+        datacenter switch hop).  Exact mode: one RTT per window round.
+        Fluid mode: the per-round term of the latency surcharge and the
+        default ``fluid_tick_s``.
     min_rto_s: minimum retransmission timeout in seconds (default 0.2 —
         the historical 200 ms TCP floor whose reduction to ~1 ms is the
-        published incast fix).
+        published incast fix).  Exact mode: full-window-loss sit-out.
+        Fluid mode: the burst-probe stall quantum.
     rto_jitter: when True, each RTO is scaled by a uniform factor in
         [0.5, 1.5) drawn from the seeded generator (default False).
-    init_cwnd: initial congestion window, in packets (default 2).
+        Exact mode only — the fluid probe is deterministic and unjittered.
+    init_cwnd: initial congestion window, in packets (default 2).  Both
+        modes (fluid: ramp round count + probe).
     max_cwnd: congestion-window growth cap, in packets (default 64).
-    seed: seed for drop sampling and RTO jitter (default 42).
+        Both modes (fluid: steady-state round count — the surcharge's
+        ``rtt/max_cwnd`` per-packet pacing term).
+    seed: seed for drop sampling and RTO jitter (default 42).  Exact
+        mode only — fluid consumes no randomness.
     leafspine: optional :class:`LeafSpineParams`; ``None`` (the
-        default) keeps the flat single-switch topology.
+        default) keeps the flat single-switch topology.  Both modes
+        (fluid flows hold shares on every hop of the spine path).
+    mode: ``"exact"`` (default) or ``"fluid"`` — see above.
+    fluid_tick_s: fluid-mode rate-recompute / completion-batch interval
+        in seconds; ``None`` (the default) means one ``rtt_s``.  The
+        coarser the tick, the cheaper and the blurrier the mode; exact
+        mode ignores it.
     """
 
     name: str = "ideal"
@@ -180,6 +224,8 @@ class FabricParams:
     max_cwnd: int = 64
     seed: int = 42                       # drop sampling + RTO jitter
     leafspine: Optional[LeafSpineParams] = None
+    mode: str = "exact"                  # "exact" | "fluid"
+    fluid_tick_s: Optional[float] = None  # fluid recompute tick; None = rtt_s
 
     def __post_init__(self) -> None:
         if self.buffer_pkts is not None and self.buffer_pkts < 1:
@@ -188,10 +234,24 @@ class FabricParams:
             raise ValueError(f"pkt_bytes must be >= 1, got {self.pkt_bytes}")
         if self.init_cwnd < 1 or self.max_cwnd < self.init_cwnd:
             raise ValueError("need 1 <= init_cwnd <= max_cwnd")
+        if self.mode not in ("exact", "fluid"):
+            raise ValueError(f'mode must be "exact" or "fluid", got {self.mode!r}')
+        if self.fluid_tick_s is not None and self.fluid_tick_s <= 0:
+            raise ValueError(f"fluid_tick_s must be > 0 (or None), got {self.fluid_tick_s}")
 
     @property
     def ideal(self) -> bool:
-        return self.buffer_pkts is None
+        """True for the no-contention scalar-arithmetic path.
+
+        Only the *exact* mode has an ideal shortcut: under
+        ``mode="fluid"`` even infinite buffers route through the fluid
+        engine, so concurrent flows share link bandwidth.
+        """
+        return self.buffer_pkts is None and self.mode == "exact"
+
+    @property
+    def fluid(self) -> bool:
+        return self.mode == "fluid"
 
     def rto_s(self, rng: Optional[np.random.Generator] = None) -> float:
         """One retransmission timeout; jittered through ``rng`` if enabled."""
@@ -623,6 +683,9 @@ class Topology:
             SwitchPort(server_link, fabric, sim=sim, obs=self.obs, name=f"server{i}")
             for i in range(n_servers)
         ]
+        self._fluid_engine: Optional[FluidEngine] = (
+            FluidEngine(sim, fabric) if fabric.fluid else None
+        )
         self.leafspine = fabric.leafspine
         self.leaf_up: list[SwitchPort] = []
         self.leaf_down: list[SwitchPort] = []
@@ -725,8 +788,14 @@ class Topology:
         The hierarchy-aware sibling is :meth:`set_leaf_down`, which
         takes a whole rack's leaf switch (uplink, downlink, and every
         edge port behind it) down in one transition.
+
+        Fluid mode reacts at flow-rate granularity instead: a down port
+        contributes zero capacity, so flows crossing it stall at rate 0
+        until the restore recomputes the shares.
         """
         self.server_ports[server].set_down(down)
+        if self._fluid_engine is not None:
+            self._fluid_engine.mark_dirty()
 
     def set_leaf_down(self, rack: int, down: bool) -> None:
         """Blackout/restore a whole leaf switch (fault injection).
@@ -752,6 +821,8 @@ class Topology:
         for c, port in self._client_ports.items():
             if self.client_rack(c) == rack:
                 port.set_down(down)
+        if self._fluid_engine is not None:
+            self._fluid_engine.mark_dirty()
 
     # -- ideal-path arithmetic ----------------------------------------
     def request_cost_s(self, nbytes: int) -> float:
@@ -793,7 +864,7 @@ class Topology:
         path = self._route(
             self.server_ports[server], self.server_rack(server), src_rack
         )
-        yield from self._windowed(path, nbytes, parent_span, cwnd_cap, ctx)
+        yield from self._xfer(path, nbytes, parent_span, cwnd_cap, ctx)
 
     def to_client(
         self, client: int, nbytes: int, parent_span=None, cwnd_cap=None, ctx=None,
@@ -806,7 +877,7 @@ class Topology:
         """
         src_rack = None if src_server is None else self.server_rack(src_server)
         path = self._route(self.client_port(client), self.client_rack(client), src_rack)
-        yield from self._windowed(path, nbytes, parent_span, cwnd_cap, ctx)
+        yield from self._xfer(path, nbytes, parent_span, cwnd_cap, ctx)
 
     def server_to_server(
         self, src_server: int, dst_server: int, nbytes: int,
@@ -826,11 +897,79 @@ class Topology:
             self.server_rack(dst_server),
             self.server_rack(src_server),
         )
-        yield from self._windowed(path, nbytes, parent_span, cwnd_cap, ctx)
+        yield from self._xfer(path, nbytes, parent_span, cwnd_cap, ctx)
 
     def to_port(self, port: SwitchPort, nbytes: int, parent_span=None, cwnd_cap=None, ctx=None):
         """Move a payload through one explicit port (e.g. a named funnel)."""
-        yield from self._windowed([port], nbytes, parent_span, cwnd_cap, ctx)
+        yield from self._xfer([port], nbytes, parent_span, cwnd_cap, ctx)
+
+    def _xfer(self, path: list[SwitchPort], nbytes: int, parent_span=None, cwnd_cap=None, ctx=None):
+        """Mode dispatch: the exact windowed engine or the fluid engine."""
+        if self._fluid_engine is not None:
+            return self._fluid(path, nbytes, parent_span, cwnd_cap, ctx)
+        return self._windowed(path, nbytes, parent_span, cwnd_cap, ctx)
+
+    def fluid_stats(self) -> Optional[dict]:
+        """Fluid-engine totals (epochs, probes, stalls); None in exact mode."""
+        return self._fluid_engine.stats() if self._fluid_engine is not None else None
+
+    def _fluid(self, path: list[SwitchPort], nbytes: int, parent_span=None, cwnd_cap=None, ctx=None):
+        """One flow through the fluid engine (``FabricParams.mode="fluid"``).
+
+        The engine time-shares each hop's line rate among concurrent
+        flows (max-min fair) and stall-probes synchronized bursts
+        against the destination buffer; this generator then charges the
+        closed-form *latency surcharge* — the ack rounds of the exact
+        window ramp plus store-and-forward serialization on the
+        non-bottleneck hops — so an uncontended fluid flow finishes at
+        exactly the uncontended exact-mode instant (see
+        :mod:`repro.net.fluid`).  ``cwnd_cap`` tightens the round count
+        like it tightens exact-mode window growth; ``ctx`` receives
+        drop/RTO attribution from the stall probe.
+        """
+        if nbytes <= 0:
+            return
+        fab = self.fabric
+        span = None
+        if self.obs is not None:
+            attrs = ctx.span_attrs() if ctx is not None else {}
+            span = self.obs.tracer.start(
+                "fabric.xfer", parent=parent_span, at=self.sim.now,
+                port=path[-1].name, nbytes=nbytes, hops=len(path), **attrs,
+            )
+        max_w = fab.max_cwnd if cwnd_cap is None else max(1, min(fab.max_cwnd, cwnd_cap))
+        npkts = -(-nbytes // fab.pkt_bytes)  # ceil
+        t0 = self.sim.now
+        ev = self._fluid_engine.start_flow(path, npkts, max_w, ctx)
+        yield ev
+        tail_s = self._fluid_engine.pop_tail_s(ev)
+        self.sim.recycle_event(ev)
+        # The uncontended exact-mode finish instant is a latency *floor*:
+        # every packet serializes at every store-and-forward hop and every
+        # window round costs one RTT ack.  The engine drain already spent
+        # bottleneck serialization (plus any queueing/stall time); under
+        # contention those ack gaps overlap other flows' transmissions,
+        # so only the part of the floor the drain hasn't covered is
+        # charged — uncontended this is exactly rounds*rtt + the
+        # non-bottleneck hop serialization, making fluid == exact there.
+        pkt_times = [p.pkt_time_s for p in path]
+        rounds = windowed_rounds(npkts, min(fab.init_cwnd, max_w), max_w)
+        t_floor = t0 + npkts * sum(pkt_times) + rounds * fab.rtt_s
+        # The exact engine ends *every* round — including the last — with
+        # an RTT ack wait.  A clean synchronized cohort stays in lockstep,
+        # so each round's RTT goes unoverlapped except for what the other
+        # members' transmissions cover (the engine precomputed that
+        # gap-sum, see ``lockstep_tail_s``); a lossy/desynchronized flow
+        # keeps only the final RTT.  Uncontended the solo floor already
+        # contains the full ack tail (rounds >= 1), so this only bites
+        # when contention pushed the drain past the solo floor.
+        t_floor = max(t_floor, self.sim.now + tail_s)
+        if t_floor > self.sim.now:
+            yield Timeout(t_floor - self.sim.now)
+        for p in path:
+            p.record_bytes(nbytes)
+        if span is not None:
+            span.finish(at=self.sim.now)
 
     def _windowed(self, path: list[SwitchPort], nbytes: int, parent_span=None, cwnd_cap=None, ctx=None):
         """One flow's windowed injection through a *path* of finite buffers.
@@ -975,7 +1114,7 @@ def synchronized_fanin(
     """
     if n_flows < 1:
         raise ValueError("need at least one flow")
-    if fabric.ideal:
+    if fabric.buffer_pkts is None:
         raise ValueError("synchronized_fanin needs a finite buffer_pkts")
     if port is None:
         port = SwitchPort(link, fabric, name=fabric.name)

@@ -258,6 +258,48 @@ def _bench_scrub_rebuild() -> dict:
     }
 
 
+def _bench_fluid_storm() -> dict:
+    """X22: 10k-client hot-server metadata storm in fluid fabric mode.
+
+    The scale the exact windowed engine cannot reach in a bench budget:
+    every client fires one 512-byte RPC at the same server at t=0, the
+    server answers after a fixed service time.  Exercises the fluid
+    engine's generational closed form plus the coalesced-wakeup and
+    event-pool paths in the simulator core; the makespan is pinned by
+    closed-form physics (``n // round_capacity`` RTO generations).
+    """
+    from dataclasses import replace
+
+    from repro.net.fabric import FabricParams, Link, Topology
+    from repro.sim import Simulator, Timeout
+
+    fab = FabricParams(
+        name="fluid-storm", buffer_pkts=64, min_rto_s=0.2, seed=7, mode="fluid"
+    )
+    n_clients = 10_000
+    sim = Simulator()
+    topo = Topology(sim, n_clients, Link(112e6), Link(112e6), fabric=fab)
+    done = [0]
+
+    def client(c):
+        yield from topo.to_server(0, 512, src_client=c)
+        yield Timeout(0.3e-3)
+        yield from topo.to_client(c, 512, src_server=0)
+        done[0] += 1
+
+    for c in range(n_clients):
+        sim.spawn(client(c))
+    sim.run()
+    assert done[0] == n_clients
+    stats = topo.fluid_stats() or {}
+    return {
+        "sim_makespan_s": sim.now,
+        "flows_completed": int(stats.get("flows_completed", 0)),
+        "wakeups_coalesced": sim.event_stats()["wakeups_coalesced"],
+        "events_pooled": sim.event_stats()["events_pooled"],
+    }
+
+
 #: name -> scenario callable; ordered, pinned — additions append only so
 #: baselines stay comparable benchmark-by-benchmark.
 BENCHMARKS: dict[str, Callable[[], dict]] = {
@@ -271,6 +313,7 @@ BENCHMARKS: dict[str, Callable[[], dict]] = {
     "pnfs_write": _bench_pnfs_write,
     "giga_storm": _bench_giga_storm,
     "scrub_rebuild": _bench_scrub_rebuild,
+    "fluid_storm": _bench_fluid_storm,
 }
 
 

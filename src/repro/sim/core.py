@@ -217,6 +217,20 @@ class Simulator:
     on totals** cheap enough for uninstrumented runs — events scheduled/
     dispatched, processes spawned/finished, max heap depth, wall-clock
     per :meth:`run` slice — snapshot via :meth:`event_stats`.
+
+    **Batching facilities** (used by high-fan-in consumers such as the
+    fluid fabric engine, :mod:`repro.net.fluid`):
+
+    * :meth:`call_at_coalesced` — idempotent scheduling: repeated
+      requests for the same ``(time, key)`` share one heap entry, so a
+      tick that ten thousand flows want to observe costs one event.
+      Duplicates are counted in ``event_stats()["wakeups_coalesced"]``.
+    * :meth:`acquire_event` / :meth:`recycle_event` — a freelist of
+      :class:`Event` objects for hot single-waiter request/response
+      cycles; reuses are counted in ``event_stats()["events_pooled"]``.
+
+    Both are pure overlays: nothing in the kernel's determinism contract
+    (same-time events fire in scheduling order) changes.
     """
 
     def __init__(
@@ -237,6 +251,11 @@ class Simulator:
         self.max_heap_depth = 0
         self.run_wall_s = 0.0
         self.run_slices = 0
+        # batching overlays: coalesced tick wakeups + pooled events
+        self._coalesced: dict[tuple, bool] = {}
+        self.wakeups_coalesced = 0
+        self._event_pool: list[Event] = []
+        self.events_pooled = 0
         self._profile_every = 1 if profile is True else int(profile)
         self._profile_acc: dict[str, list] = {}  # label -> [samples, wall_s]
         self.obs = obs if obs is not None else _current_obs()
@@ -270,8 +289,68 @@ class Simulator:
         """Schedule a plain callback ``delay`` seconds from now."""
         self._schedule(self.now + delay, fn, *args)
 
+    def call_at_coalesced(self, time: float, key: Any, fn: Callable, *args: Any) -> bool:
+        """Schedule ``fn`` at ``time``, coalescing duplicate requests.
+
+        The first request for a given ``(time, key)`` pays one heap
+        entry; every further request for the same pair before it fires
+        is dropped (the callback is already scheduled) and counted in
+        ``event_stats()["wakeups_coalesced"]``.  Returns True when this
+        call actually scheduled, False when it coalesced.
+
+        This is the homogeneous-wakeup batcher: a fan-in of N identical
+        per-tick wakeups (e.g. N flows all wanting the fluid engine to
+        recompute rates at the next tick boundary) costs one event
+        instead of N.  ``fn``/``args`` are taken from the *first*
+        request, so every caller sharing a key must pass the same
+        callback.
+        """
+        k = (time, key)
+        if k in self._coalesced:
+            self.wakeups_coalesced += 1
+            return False
+        self._coalesced[k] = True
+        self._schedule(time, self._fire_coalesced, k, fn, args)
+        return True
+
+    def _fire_coalesced(self, k: tuple, fn: Callable, args: tuple) -> None:
+        del self._coalesced[k]
+        fn(*args)
+
     def event(self, name: str = "") -> Event:
         return Event(self, name=name)
+
+    def acquire_event(self, name: str = "") -> Event:
+        """An :class:`Event` from the freelist (or a fresh one).
+
+        Pooled events are for hot single-waiter cycles: the owner waits,
+        the peer triggers, the owner calls :meth:`recycle_event` after
+        resuming.  Reuse counts land in
+        ``event_stats()["events_pooled"]``.
+        """
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev.name = name
+            ev._value = None
+            ev._exc = None
+            ev._done = False
+            self.events_pooled += 1
+            return ev
+        return Event(self, name=name)
+
+    def recycle_event(self, ev: Event) -> None:
+        """Return a finished event to the freelist.
+
+        Caller contract: the event has triggered, every waiter has
+        already resumed, and no other process holds a reference — the
+        object is reused (and reset) by the next :meth:`acquire_event`.
+        """
+        if ev._waiters:
+            raise SimulationError(
+                f"cannot recycle event {ev.name!r}: waiters still attached"
+            )
+        self._event_pool.append(ev)
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a new process; it takes its first step at the current time."""
@@ -357,6 +436,8 @@ class Simulator:
             "processes_finished": self.processes_finished,
             "max_heap_depth": self.max_heap_depth,
             "pending_events": len(self._heap),
+            "wakeups_coalesced": self.wakeups_coalesced,
+            "events_pooled": self.events_pooled,
             "run_slices": self.run_slices,
             "run_wall_s": self.run_wall_s,
             "events_per_s": (

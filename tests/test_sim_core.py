@@ -357,3 +357,73 @@ def test_store_buffered_before_get():
     sim.spawn(consumer())
     sim.run()
     assert got == [1, 2]
+
+
+def test_call_at_coalesced_dedupes_per_time_and_key():
+    sim = Simulator()
+    fired = []
+
+    def cb(tag):
+        fired.append((sim.now, tag))
+
+    # three requests for the same (time, key): one heap entry, one call
+    assert sim.call_at_coalesced(1.0, "tick", cb, "a") is True
+    assert sim.call_at_coalesced(1.0, "tick", cb, "ignored") is False
+    assert sim.call_at_coalesced(1.0, "tick", cb, "ignored") is False
+    # a different key at the same time, and the same key at another time,
+    # each schedule independently
+    assert sim.call_at_coalesced(1.0, "other", cb, "b") is True
+    assert sim.call_at_coalesced(2.0, "tick", cb, "c") is True
+    sim.run()
+    assert fired == [(1.0, "a"), (1.0, "b"), (2.0, "c")]
+    assert sim.event_stats()["wakeups_coalesced"] == 2
+
+
+def test_call_at_coalesced_key_reusable_after_firing():
+    sim = Simulator()
+    fired = []
+    sim.call_at_coalesced(1.0, "k", fired.append, 1)
+    sim.run()
+    # the (time, key) slot is released once the callback fires
+    assert sim.call_at_coalesced(1.0, "k", fired.append, 2) is True
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_event_pool_recycles():
+    sim = Simulator()
+    ev1 = sim.acquire_event(name="first")
+    assert sim.event_stats()["events_pooled"] == 0  # pool was empty
+
+    def waiter(ev, out):
+        out.append((yield Wait(ev)))
+
+    got = []
+    sim.spawn(waiter(ev1, got))
+
+    def trigger():
+        yield Timeout(1.0)
+        ev1.succeed(42)
+
+    sim.spawn(trigger())
+    sim.run()
+    assert got == [42]
+    sim.recycle_event(ev1)
+    ev2 = sim.acquire_event(name="second")
+    # same object, fully reset, and the reuse was counted
+    assert ev2 is ev1
+    assert ev2.name == "second" and not ev2.triggered
+    assert sim.event_stats()["events_pooled"] == 1
+
+
+def test_recycle_event_with_waiters_raises():
+    sim = Simulator()
+    ev = sim.acquire_event()
+
+    def waiter():
+        yield Wait(ev)
+
+    sim.spawn(waiter())
+    sim.run(until=0.0)  # let the waiter park on the event
+    with pytest.raises(SimulationError):
+        sim.recycle_event(ev)
